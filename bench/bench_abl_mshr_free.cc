@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation: freeing L1 MSHR entries when a thread's loads squash on a
+ * coordinated context switch (§III-A) vs holding them until the
+ * response returns. The paper enables freeing by default because held
+ * entries from a switched-out thread starve the incoming thread's MLP
+ * for microseconds.
+ */
+
+#include "support.h"
+
+using namespace skybyte;
+using namespace skybyte::bench;
+
+namespace {
+const std::vector<std::string> kWorkloads = {"bc", "bfs-dense", "srad",
+                                             "ycsb"};
+}
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions opt = benchOptions(100'000);
+    for (const auto &w : kWorkloads) {
+        for (const bool free_mshr : {true, false}) {
+            const std::string col = free_mshr ? "free-on-squash"
+                                              : "hold-until-fill";
+            registerSim(w, col, [w, free_mshr, opt] {
+                SimConfig cfg = makeBenchConfig("SkyByte-Full");
+                cfg.cpu.freeMshrOnSquash = free_mshr;
+                return runConfig(cfg, w, opt);
+            });
+        }
+    }
+    return runBenchMain(argc, argv, [] {
+        printHeader("Ablation: MSHR handling on squash (SkyByte-Full; "
+                    "normalized exec time, free-on-squash = 1.0)");
+        printNormalized(kWorkloads,
+                        {"free-on-squash", "hold-until-fill"},
+                        "free-on-squash", [](const SimResult &r) {
+                            return static_cast<double>(r.execTime);
+                        });
+    });
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 3: off-chip memory access latency distribution (CDF) for DRAM
+ * vs CXL-SSD on bc, bfs-dense, srad, tpcc. The paper's shape: >90% of
+ * CXL-SSD requests within ~200 ns (SSD DRAM cache hits) with a tail at
+ * hundreds of microseconds from flash reads and GC.
+ */
+
+#include "support.h"
+
+using namespace skybyte;
+using namespace skybyte::bench;
+
+namespace {
+const std::vector<std::string> kWorkloads = {"bc", "bfs-dense", "srad",
+                                             "tpcc"};
+}
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions opt = benchOptions(100'000);
+    for (const auto &w : kWorkloads) {
+        for (const std::string v : {"DRAM-Only", "Base-CSSD"}) {
+            registerSim(w, v,
+                        [w, v, opt] { return runVariant(v, w, opt); });
+        }
+    }
+    return runBenchMain(argc, argv, [] {
+        printHeader("Figure 3: off-chip access latency CDFs "
+                    "(latency_ns cumulative_fraction)");
+        for (const auto &w : kWorkloads) {
+            for (const std::string v : {"DRAM-Only", "Base-CSSD"}) {
+                const SimResult &r = resultAt(w, v);
+                std::printf("\n[%s / %s] p50=%.0fns p90=%.0fns "
+                            "p99=%.0fns p99.9=%.0fns\n",
+                            w.c_str(), v.c_str(),
+                            ticksToNs(r.offchipLatency.percentileTicks(
+                                0.5)),
+                            ticksToNs(r.offchipLatency.percentileTicks(
+                                0.9)),
+                            ticksToNs(r.offchipLatency.percentileTicks(
+                                0.99)),
+                            ticksToNs(r.offchipLatency.percentileTicks(
+                                0.999)));
+                int printed = 0;
+                for (const auto &[ns, frac] :
+                     r.offchipLatency.cdfPoints()) {
+                    std::printf("  %10.0f %7.4f", ns, frac);
+                    if (++printed % 4 == 0)
+                        std::printf("\n");
+                }
+                std::printf("\n");
+            }
+        }
+    });
+}

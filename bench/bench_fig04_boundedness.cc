@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 4: execution-time boundedness breakdown (memory vs compute) for
+ * DRAM vs CXL-SSD. Paper: memory-bounded share grows from 62.9-98.7%
+ * (DRAM) to 77-99.8% (CXL-SSD).
+ */
+
+#include "support.h"
+
+using namespace skybyte;
+using namespace skybyte::bench;
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions opt = benchOptions(120'000);
+    for (const auto &w : paperWorkloadNames()) {
+        for (const std::string v : {"DRAM-Only", "Base-CSSD"}) {
+            registerSim(w, v,
+                        [w, v, opt] { return runVariant(v, w, opt); });
+        }
+    }
+    return runBenchMain(argc, argv, [] {
+        printHeader("Figure 4: cycles bounded by memory vs compute (%)");
+        std::printf("%-12s %22s %22s\n", "workload", "DRAM mem/comp",
+                    "CXL-SSD mem/comp");
+        for (const auto &w : paperWorkloadNames()) {
+            auto pct = [](const SimResult &r) {
+                const double busy = static_cast<double>(
+                    r.computeTicks + r.memStallTicks + r.ctxSwitchTicks);
+                return busy > 0 ? 100.0
+                                      * static_cast<double>(r.memStallTicks)
+                                      / busy
+                                : 0.0;
+            };
+            const double dram_mem = pct(resultAt(w, "DRAM-Only"));
+            const double cssd_mem = pct(resultAt(w, "Base-CSSD"));
+            std::printf("%-12s %10.1f /%9.1f %11.1f /%9.1f\n", w.c_str(),
+                        dram_mem, 100.0 - dram_mem, cssd_mem,
+                        100.0 - cssd_mem);
+        }
+    });
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 10: thread scheduling policies (RR / Random / CFS) under the
+ * coordinated context switch, with the execution-time breakdown
+ * (context switch / compute-bound / memory-bound). Paper: the three
+ * policies perform similarly because all threads are I/O bound.
+ */
+
+#include "support.h"
+
+using namespace skybyte;
+using namespace skybyte::bench;
+
+namespace {
+const std::vector<std::string> kWorkloads = {"bc", "radix", "srad",
+                                             "tpcc"};
+const std::vector<std::pair<std::string, SchedPolicy>> kPolicies = {
+    {"RR", SchedPolicy::RoundRobin},
+    {"Random", SchedPolicy::Random},
+    {"CFS", SchedPolicy::Cfs},
+};
+}
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions opt = benchOptions(100'000);
+    for (const auto &w : kWorkloads) {
+        for (const auto &[name, policy] : kPolicies) {
+            registerSim(w, name, [w, policy = policy, opt] {
+                SimConfig cfg = makeBenchConfig("SkyByte-Full");
+                cfg.policy.schedPolicy = policy;
+                return runConfig(cfg, w, opt);
+            });
+        }
+    }
+    return runBenchMain(argc, argv, [] {
+        printHeader("Figure 10: scheduling policies — normalized exec "
+                    "time and breakdown (ctx/comp/mem %)");
+        std::printf("%-10s %-8s %10s %8s %8s %8s\n", "workload",
+                    "policy", "norm.time", "ctx%", "comp%", "mem%");
+        for (const auto &w : kWorkloads) {
+            const double base = static_cast<double>(
+                resultAt(w, "RR").execTime);
+            for (const auto &[name, policy] : kPolicies) {
+                const SimResult &r = resultAt(w, name);
+                const double busy = static_cast<double>(
+                    r.computeTicks + r.memStallTicks + r.ctxSwitchTicks);
+                std::printf(
+                    "%-10s %-8s %10.3f %8.1f %8.1f %8.1f\n", w.c_str(),
+                    name.c_str(),
+                    base > 0 ? static_cast<double>(r.execTime) / base
+                             : 0.0,
+                    100.0 * static_cast<double>(r.ctxSwitchTicks) / busy,
+                    100.0 * static_cast<double>(r.computeTicks) / busy,
+                    100.0 * static_cast<double>(r.memStallTicks) / busy);
+            }
+        }
+    });
+}

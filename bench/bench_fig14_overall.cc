@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 14: the headline ablation — normalized execution time of all
+ * SkyByte variants over Base-CSSD. Paper: SkyByte-Full is 6.11x better
+ * on average (up to 16.35x) and reaches 75% of DRAM-Only; expected
+ * ordering Base < {P,C,W} < {CP,WP} < Full <= DRAM-Only.
+ */
+
+#include "support.h"
+
+using namespace skybyte;
+using namespace skybyte::bench;
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions opt = benchOptions(150'000);
+    for (const auto &w : paperWorkloadNames()) {
+        for (const auto &v : allVariantNames()) {
+            registerSim(w, v,
+                        [w, v, opt] { return runVariant(v, w, opt); });
+        }
+    }
+    return runBenchMain(argc, argv, [] {
+        printHeader("Figure 14: normalized execution time over "
+                    "Base-CSSD (lower is better)");
+        printNormalized(paperWorkloadNames(), allVariantNames(),
+                        "Base-CSSD", [](const SimResult &r) {
+                            return static_cast<double>(r.execTime);
+                        });
+        std::printf("\nSpeedup of SkyByte-Full over Base-CSSD "
+                    "(higher is better):\n");
+        std::vector<double> speedups;
+        for (const auto &w : paperWorkloadNames()) {
+            const double s =
+                static_cast<double>(resultAt(w, "Base-CSSD").execTime)
+                / static_cast<double>(
+                    resultAt(w, "SkyByte-Full").execTime);
+            speedups.push_back(s);
+            std::printf("  %-12s %6.2fx\n", w.c_str(), s);
+        }
+        std::printf("  %-12s %6.2fx   (paper: 6.11x at full scale)\n",
+                    "geo.mean", geoMean(speedups));
+        std::vector<double> vs_ideal;
+        for (const auto &w : paperWorkloadNames()) {
+            vs_ideal.push_back(
+                static_cast<double>(resultAt(w, "DRAM-Only").execTime)
+                / static_cast<double>(
+                    resultAt(w, "SkyByte-Full").execTime));
+        }
+        std::printf("\nSkyByte-Full reaches %.0f%% of DRAM-Only "
+                    "performance (paper: 75%%)\n",
+                    100.0 * geoMean(vs_ideal));
+    });
+}

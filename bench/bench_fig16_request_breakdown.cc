@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 16: breakdown of all memory requests served by the memory
+ * system under SkyByte-Full: H-R/W (host DRAM read/write), S-R-H
+ * (CXL-SSD DRAM read hit), S-R-M (CXL-SSD DRAM read miss), S-W
+ * (CXL-SSD write; all writes append to the log, so hits/misses are not
+ * distinguished — paper footnote 1).
+ */
+
+#include "support.h"
+
+using namespace skybyte;
+using namespace skybyte::bench;
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions opt = benchOptions(120'000);
+    for (const auto &w : paperWorkloadNames()) {
+        registerSim(w, "SkyByte-Full", [w, opt] {
+            return runVariant("SkyByte-Full", w, opt);
+        });
+    }
+    return runBenchMain(argc, argv, [] {
+        printHeader("Figure 16: memory request breakdown (%) under "
+                    "SkyByte-Full");
+        std::printf("%-12s %9s %9s %9s %9s\n", "workload", "H-R/W",
+                    "S-R-H", "S-R-M", "S-W");
+        for (const auto &w : paperWorkloadNames()) {
+            const SimResult &r = resultAt(w, "SkyByte-Full");
+            const double total = static_cast<double>(
+                r.hostReads + r.hostWrites + r.ssdReadHits
+                + r.ssdReadMisses + r.ssdWrites);
+            if (total == 0)
+                continue;
+            std::printf("%-12s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+                        w.c_str(),
+                        100.0 * static_cast<double>(r.hostReads
+                                                    + r.hostWrites)
+                            / total,
+                        100.0 * static_cast<double>(r.ssdReadHits)
+                            / total,
+                        100.0 * static_cast<double>(r.ssdReadMisses)
+                            / total,
+                        100.0 * static_cast<double>(r.ssdWrites)
+                            / total);
+        }
+    });
+}

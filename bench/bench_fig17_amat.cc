@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 17: average memory access time (AMAT) and its breakdown into
+ * host DRAM / CXL protocol / SSD indexing / SSD DRAM / flash components
+ * across the design variants. Paper: SkyByte reduces AMAT 14.19x vs
+ * Base-CSSD on average; SkyByte-Full lands within 1.39x of DRAM-Only.
+ */
+
+#include "support.h"
+
+using namespace skybyte;
+using namespace skybyte::bench;
+
+namespace {
+const std::vector<std::string> kVariants = {
+    "Base-CSSD", "SkyByte-P", "SkyByte-W",
+    "SkyByte-WP", "SkyByte-Full", "DRAM-Only"};
+}
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions opt = benchOptions(100'000);
+    for (const auto &w : paperWorkloadNames()) {
+        for (const auto &v : kVariants) {
+            registerSim(w, v,
+                        [w, v, opt] { return runVariant(v, w, opt); });
+        }
+    }
+    return runBenchMain(argc, argv, [] {
+        printHeader("Figure 17a: AMAT normalized to Base-CSSD");
+        printNormalized(paperWorkloadNames(), kVariants, "Base-CSSD",
+                        [](const SimResult &r) {
+                            return r.amatTotalTicks > 0 ? r.amatTotalTicks
+                                                        : 1.0;
+                        });
+        printHeader("Figure 17b: AMAT component breakdown (ns per "
+                    "off-chip read): host/protocol/indexing/ssdDram/"
+                    "flash");
+        for (const auto &w : paperWorkloadNames()) {
+            std::printf("\n%s\n", w.c_str());
+            for (const auto &v : kVariants) {
+                const SimResult &r = resultAt(w, v);
+                std::printf("  %-14s host=%8.1f proto=%7.1f idx=%6.1f "
+                            "dram=%8.1f flash=%10.1f total=%10.1f\n",
+                            v.c_str(),
+                            ticksToNs(static_cast<Tick>(
+                                r.amatHostTicks)),
+                            ticksToNs(static_cast<Tick>(
+                                r.amatProtocolTicks)),
+                            ticksToNs(static_cast<Tick>(
+                                r.amatIndexingTicks)),
+                            ticksToNs(static_cast<Tick>(
+                                r.amatSsdDramTicks)),
+                            ticksToNs(static_cast<Tick>(
+                                r.amatFlashTicks)),
+                            ticksToNs(static_cast<Tick>(
+                                r.amatTotalTicks)));
+            }
+        }
+    });
+}

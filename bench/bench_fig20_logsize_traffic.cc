@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 20: flash write traffic vs write log size. A larger log widens
+ * the coalescing window, so page programs per compaction drop; the
+ * effect saturates once the log covers the workload's write working
+ * set.
+ */
+
+#include "support.h"
+
+using namespace skybyte;
+using namespace skybyte::bench;
+
+namespace {
+const std::vector<std::uint64_t> kLogKb = {16, 64, 256, 1024, 2048,
+                                           4096};
+}
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions opt = benchOptions(100'000);
+    for (const auto &w : paperWorkloadNames()) {
+        for (std::uint64_t kb : kLogKb) {
+            registerSim(w, std::to_string(kb), [w, kb, opt] {
+                SimConfig cfg = makeBenchConfig("SkyByte-Full");
+                const std::uint64_t total =
+                    cfg.ssdCache.writeLogBytes
+                    + cfg.ssdCache.dataCacheBytes;
+                cfg.ssdCache.writeLogBytes = kb * 1024;
+                cfg.ssdCache.dataCacheBytes = total - kb * 1024;
+                return runConfig(cfg, w, opt);
+            });
+        }
+    }
+    return runBenchMain(argc, argv, [] {
+        printHeader("Figure 20: flash write traffic vs write log size "
+                    "(pages programmed, normalized to the 16 KB log)");
+        std::vector<std::string> cols;
+        for (std::uint64_t kb : kLogKb)
+            cols.push_back(std::to_string(kb));
+        printNormalized(paperWorkloadNames(), cols, "16",
+                        [](const SimResult &r) {
+                            return static_cast<double>(
+                                       r.flashHostPrograms)
+                                   + 1.0;
+                        });
+        std::printf("\nCompactions and log appends per run:\n");
+        for (const auto &w : paperWorkloadNames()) {
+            std::printf("  %-12s", w.c_str());
+            for (std::uint64_t kb : kLogKb) {
+                const SimResult &r = resultAt(w, std::to_string(kb));
+                std::printf(" %5lux/%-8lu",
+                            static_cast<unsigned long>(r.compactions),
+                            static_cast<unsigned long>(r.logAppends));
+            }
+            std::printf("\n");
+        }
+    });
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 21: performance of SkyByte variants with varying SSD DRAM
+ * cache size (paper 0.125-2 GB; 1/64 scale here), keeping the host:SSD
+ * promoted-page ratio at 4:1 and the log:cache split at 1:7. Paper:
+ * SkyByte-Full wins at every size — a small DRAM with the cacheline
+ * write log matches a much larger page-granular cache.
+ */
+
+#include "support.h"
+
+using namespace skybyte;
+using namespace skybyte::bench;
+
+namespace {
+const std::vector<std::uint64_t> kDramMb = {2, 4, 8, 16, 32};
+const std::vector<std::string> kVariants = {
+    "Base-CSSD", "SkyByte-P", "SkyByte-W", "SkyByte-WP", "SkyByte-Full"};
+}
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions opt = benchOptions(60'000);
+    for (const auto &w : paperWorkloadNames()) {
+        for (std::uint64_t mb : kDramMb) {
+            for (const auto &v : kVariants) {
+                const std::string col =
+                    v + "@" + std::to_string(mb) + "MB";
+                registerSim(w, col, [w, v, mb, opt] {
+                    SimConfig cfg = makeBenchConfig(v);
+                    const std::uint64_t total = mb * 1024 * 1024;
+                    cfg.ssdCache.writeLogBytes = total / 8;
+                    cfg.ssdCache.dataCacheBytes = total - total / 8;
+                    cfg.hostMem.promotedBytesMax = total * 4;
+                    return runConfig(cfg, w, opt);
+                });
+            }
+        }
+    }
+    return runBenchMain(argc, argv, [] {
+        printHeader("Figure 21: execution time vs SSD DRAM size "
+                    "(normalized to SkyByte-Full @ 8MB default)");
+        for (const auto &w : paperWorkloadNames()) {
+            const double base = static_cast<double>(
+                resultAt(w, "SkyByte-Full@8MB").execTime);
+            std::printf("\n%s (SSD DRAM MB: rows = variant)\n",
+                        w.c_str());
+            std::printf("  %-14s", "variant");
+            for (std::uint64_t mb : kDramMb)
+                std::printf("%10lu", static_cast<unsigned long>(mb));
+            std::printf("\n");
+            for (const auto &v : kVariants) {
+                std::printf("  %-14s", v.c_str());
+                for (std::uint64_t mb : kDramMb) {
+                    const std::string col =
+                        v + "@" + std::to_string(mb) + "MB";
+                    std::printf("%10.2f",
+                                base > 0
+                                    ? static_cast<double>(
+                                          resultAt(w, col).execTime)
+                                          / base
+                                    : 0.0);
+                }
+                std::printf("\n");
+            }
+        }
+    });
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Table III: average flash read latency observed by SkyByte-WP demand
+ * fetches. Paper values range from 3.3 us (ycsb, near-idle channels) to
+ * 25.7 us (bfs-dense, queueing + compaction interference).
+ */
+
+#include "support.h"
+
+using namespace skybyte;
+using namespace skybyte::bench;
+
+int
+main(int argc, char **argv)
+{
+    const ExperimentOptions opt = benchOptions(120'000);
+    for (const auto &w : paperWorkloadNames()) {
+        registerSim(w, "SkyByte-WP", [w, opt] {
+            return runVariant("SkyByte-WP", w, opt);
+        });
+    }
+    return runBenchMain(argc, argv, [] {
+        printHeader("Table III: average flash read latency of "
+                    "SkyByte-WP (us)");
+        std::printf("%-12s %12s %12s\n", "workload", "measured(us)",
+                    "paper(us)");
+        const std::map<std::string, double> paper = {
+            {"bc", 3.5},    {"bfs-dense", 25.7}, {"dlrm", 3.4},
+            {"radix", 4.9}, {"srad", 22.5},      {"tpcc", 19.6},
+            {"ycsb", 3.3}};
+        for (const auto &w : paperWorkloadNames()) {
+            std::printf("%-12s %12.1f %12.1f\n", w.c_str(),
+                        resultAt(w, "SkyByte-WP").flashReadLatencyUs,
+                        paper.at(w));
+        }
+    });
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Shared support for the benchmark harness: every bench binary registers
+ * its simulation runs as google-benchmark cases (1 iteration each, the
+ * simulated execution time reported as manual time), stores the
+ * SimResults in a process-wide table, and prints the paper-style
+ * rows/series after the benchmark pass.
+ *
+ * Scale knobs: SKYBYTE_BENCH_INSTR (instructions per thread at 8
+ * threads), SKYBYTE_BENCH_THREADS, SKYBYTE_BENCH_FOOTPRINT_MB.
+ */
+
+#ifndef SKYBYTE_BENCH_SUPPORT_H
+#define SKYBYTE_BENCH_SUPPORT_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace skybyte::bench {
+
+/** Result store keyed by an arbitrary row/column label pair. */
+inline std::map<std::pair<std::string, std::string>, SimResult> &
+results()
+{
+    static std::map<std::pair<std::string, std::string>, SimResult> store;
+    return store;
+}
+
+inline SimResult &
+resultAt(const std::string &row, const std::string &col)
+{
+    return results()[{row, col}];
+}
+
+/** Default options for this binary (env-overridable). */
+inline ExperimentOptions
+benchOptions(std::uint64_t default_instr)
+{
+    ExperimentOptions opt = ExperimentOptions::fromEnv();
+    if (std::getenv("SKYBYTE_BENCH_INSTR") == nullptr)
+        opt.instrPerThread = default_instr;
+    return opt;
+}
+
+/**
+ * Register one simulation as a google-benchmark case. @p fn runs the
+ * simulation and returns the result, which is stored under (row, col)
+ * and surfaced as counters.
+ */
+inline void
+registerSim(const std::string &row, const std::string &col,
+            std::function<SimResult()> fn)
+{
+    const std::string name = row + "/" + col;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [row, col, fn = std::move(fn)](benchmark::State &state) {
+            for (auto _ : state) {
+                SimResult res = fn();
+                resultAt(row, col) = res;
+                state.SetIterationTime(res.execMs() / 1000.0);
+                state.counters["sim_exec_ms"] = res.execMs();
+                state.counters["instructions"] = static_cast<double>(
+                    res.committedInstructions);
+                state.counters["flash_pgm"] = static_cast<double>(
+                    res.flashHostPrograms + res.flashGcPrograms);
+            }
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+}
+
+/** Print a separator + table title. */
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================================\n");
+}
+
+/**
+ * Print a matrix of doubles: rows x cols with a value extractor.
+ */
+inline void
+printMatrix(const std::string &corner,
+            const std::vector<std::string> &rows,
+            const std::vector<std::string> &cols,
+            const std::function<double(const SimResult &)> &value,
+            const char *fmt = "%12.3f")
+{
+    std::printf("%-16s", corner.c_str());
+    for (const auto &c : cols)
+        std::printf("%12s", c.substr(0, 12).c_str());
+    std::printf("\n");
+    for (const auto &r : rows) {
+        std::printf("%-16s", r.c_str());
+        for (const auto &c : cols)
+            std::printf(fmt, value(resultAt(r, c)));
+        std::printf("\n");
+    }
+}
+
+/**
+ * Print rows normalized to a baseline column (e.g., exec time vs
+ * Base-CSSD), plus a geometric-mean row across workloads.
+ */
+inline void
+printNormalized(const std::vector<std::string> &workloads,
+                const std::vector<std::string> &variants,
+                const std::string &baseline,
+                const std::function<double(const SimResult &)> &value,
+                bool lower_is_better = true)
+{
+    std::printf("%-16s", "workload");
+    for (const auto &v : variants)
+        std::printf("%14s", v.substr(0, 14).c_str());
+    std::printf("\n");
+    std::vector<std::vector<double>> norm(variants.size());
+    for (const auto &w : workloads) {
+        std::printf("%-16s", w.c_str());
+        const double base = value(resultAt(w, baseline));
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            const double x = value(resultAt(w, variants[i]));
+            const double n = base > 0 ? x / base : 0.0;
+            norm[i].push_back(n);
+            std::printf("%14.3f", n);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-16s", "geo.mean");
+    for (std::size_t i = 0; i < variants.size(); ++i)
+        std::printf("%14.3f", geoMean(norm[i]));
+    std::printf("\n");
+    std::printf("(normalized to %s; %s is better)\n", baseline.c_str(),
+                lower_is_better ? "lower" : "higher");
+}
+
+/** Standard main body: run benchmarks, then call the table printer. */
+inline int
+runBenchMain(int argc, char **argv, const std::function<void()> &report)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    report();
+    return 0;
+}
+
+} // namespace skybyte::bench
+
+#endif // SKYBYTE_BENCH_SUPPORT_H

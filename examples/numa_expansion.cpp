@@ -1,0 +1,76 @@
+/**
+ * @file
+ * NUMA deployment (§IV): the CXL-SSD appears as a CPU-less NUMA node
+ * attached to one socket (the "home node"); threads on the other socket
+ * pay the inter-socket hop on every CXL access. Because that hop
+ * (<100 ns) is dwarfed by flash latency (µs), SkyByte keeps one shared
+ * context-switch threshold for all sockets — this example measures how
+ * much the remote socket actually loses, and shows the coordinated
+ * context switch does not need per-socket retuning.
+ *
+ *   ./examples/numa_expansion [workload]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.h"
+#include "sim/system.h"
+
+using namespace skybyte;
+
+namespace {
+
+SimResult
+runSockets(const std::string &workload, std::uint32_t sockets,
+           Tick inter_socket)
+{
+    SimConfig cfg = makeBenchConfig("SkyByte-Full");
+    cfg.numa.sockets = sockets;
+    cfg.numa.interSocketLatency = inter_socket;
+    cfg.numa.ssdHomeSocket = 0;
+    ExperimentOptions opt;
+    opt.instrPerThread = 100'000;
+    System system(cfg, workload, makeParams(cfg, opt));
+    return system.run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "bfs-dense";
+
+    // Single socket: every core is on the SSD's home node.
+    const SimResult local = runSockets(workload, 1, 0);
+    // Two sockets: half the cores reach the SSD through the other
+    // socket, paying the paper's <100 ns hop each way.
+    const SimResult two = runSockets(workload, 2, nsToTicks(100.0));
+    // Stress case: a slow fabric makes the hop 4x worse.
+    const SimResult slow = runSockets(workload, 2, nsToTicks(400.0));
+
+    std::printf("workload: %s (SkyByte-Full, shared 2 us threshold)\n\n",
+                workload.c_str());
+    std::printf("%-28s %12s %12s %12s\n", "", "1-socket", "2-socket",
+                "2-socket/400ns");
+    std::printf("%-28s %12.3f %12.3f %12.3f\n",
+                "simulated exec time (ms)", local.execMs(), two.execMs(),
+                slow.execMs());
+    std::printf("%-28s %12.1f %12.1f %12.1f\n", "AMAT (ns)",
+                ticksToNs(static_cast<Tick>(local.amatTotalTicks)),
+                ticksToNs(static_cast<Tick>(two.amatTotalTicks)),
+                ticksToNs(static_cast<Tick>(slow.amatTotalTicks)));
+    std::printf("%-28s %12lu %12lu %12lu\n", "context switches",
+                static_cast<unsigned long>(local.contextSwitches),
+                static_cast<unsigned long>(two.contextSwitches),
+                static_cast<unsigned long>(slow.contextSwitches));
+
+    std::printf("\nRemote-socket slowdown: %.1f%% at 100 ns, %.1f%% at "
+                "400 ns —\nsmall against µs-scale flash, which is why a "
+                "single shared context-switch\nthreshold works for every "
+                "NUMA node (§IV).\n",
+                (two.execMs() / local.execMs() - 1.0) * 100.0,
+                (slow.execMs() / local.execMs() - 1.0) * 100.0);
+    return 0;
+}

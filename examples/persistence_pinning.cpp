@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Data persistence (§IV): pin a range of the device address space so
+ * the pages holding durable state are never promoted to volatile host
+ * DRAM — once a clwb-flushed line reaches the battery-backed SSD DRAM
+ * it is persistent. The unpinned remainder of the footprint still
+ * enjoys adaptive page migration.
+ *
+ * The example runs the same workload three times — everything
+ * migratable, one quarter pinned, everything pinned — and shows (a) the
+ * promotion count falls as the pinned range grows because only unpinned
+ * pages are candidates, and (b) what the durability guarantee costs (or
+ * saves) end to end at this scale.
+ *
+ *   ./examples/persistence_pinning [workload]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.h"
+#include "sim/system.h"
+#include "trace/workload.h"
+
+using namespace skybyte;
+
+namespace {
+
+SimResult
+runWithPinned(const std::string &workload, std::uint64_t pinned_bytes)
+{
+    SimConfig cfg = makeBenchConfig("SkyByte-Full");
+    cfg.hostMem.pinnedDeviceBytes = pinned_bytes;
+    ExperimentOptions opt;
+    opt.instrPerThread = 100'000;
+    System system(cfg, workload, makeParams(cfg, opt));
+    return system.run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "bc";
+
+    // Ask the workload for its actual footprint so the pinned fraction
+    // is exact (0 in WorkloadParams selects the per-workload default).
+    SimConfig probe_cfg = makeBenchConfig("SkyByte-Full");
+    ExperimentOptions probe_opt;
+    const std::uint64_t footprint =
+        makeWorkload(workload, makeParams(probe_cfg, probe_opt))
+            ->footprintBytes();
+
+    const SimResult all_volatile = runWithPinned(workload, 0);
+    const SimResult quarter = runWithPinned(workload, footprint / 4);
+    const SimResult all_pinned = runWithPinned(workload, footprint);
+
+    std::printf("workload %s, footprint %.1f MB\n\n", workload.c_str(),
+                static_cast<double>(footprint) / (1024.0 * 1024.0));
+    std::printf("%-26s %13s %13s %13s\n", "", "all-volatile",
+                "1/4-pinned", "all-pinned");
+    std::printf("%-26s %13.3f %13.3f %13.3f\n",
+                "simulated exec time (ms)", all_volatile.execMs(),
+                quarter.execMs(), all_pinned.execMs());
+    std::printf("%-26s %13lu %13lu %13lu\n", "pages promoted",
+                static_cast<unsigned long>(all_volatile.promotions),
+                static_cast<unsigned long>(quarter.promotions),
+                static_cast<unsigned long>(all_pinned.promotions));
+    std::printf("%-26s %13lu %13lu %13lu\n", "context switches",
+                static_cast<unsigned long>(
+                    all_volatile.contextSwitches),
+                static_cast<unsigned long>(quarter.contextSwitches),
+                static_cast<unsigned long>(all_pinned.contextSwitches));
+
+    const double delta =
+        (all_pinned.execMs() / all_volatile.execMs() - 1.0) * 100.0;
+    std::printf("\nPinned pages are excluded from promotion, so the "
+                "promotion count shrinks\nwith the pinned range "
+                "(%lu -> %lu -> %lu) while durable data always serves\n"
+                "from the battery-backed SSD DRAM. Full pinning changes "
+                "end-to-end time by\n%+.1f%% here — the coordinated "
+                "context switch still hides most flash latency\neven "
+                "with migration disabled.\n",
+                static_cast<unsigned long>(all_volatile.promotions),
+                static_cast<unsigned long>(quarter.promotions),
+                static_cast<unsigned long>(all_pinned.promotions),
+                delta);
+    return 0;
+}

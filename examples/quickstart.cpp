@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: build a SkyByte-Full system, run a small workload, and
+ * print the headline statistics. Start here to learn the public API.
+ *
+ *   ./examples/quickstart [workload] [variant]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.h"
+#include "sim/system.h"
+
+using namespace skybyte;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "ycsb";
+    const std::string variant = argc > 2 ? argv[2] : "SkyByte-Full";
+
+    // 1. Pick a configuration preset (Base-CSSD, SkyByte-*, DRAM-Only).
+    //    Every Table II knob is a plain struct field you can override.
+    SimConfig cfg = makeBenchConfig(variant);
+    cfg.policy.csThreshold = usToTicks(2.0); // context-switch threshold
+
+    // 2. Describe the run: thread count follows the paper's rule
+    //    (24 threads on 8 cores when coordinated switching is on).
+    ExperimentOptions opt;
+    opt.instrPerThread = 100'000;
+    const WorkloadParams params = makeParams(cfg, opt);
+
+    // 3. Build the system and run to completion.
+    System system(cfg, workload, params);
+    SimResult res = system.run();
+
+    // 4. Inspect the results.
+    std::printf("workload            : %s\n", res.workload.c_str());
+    std::printf("variant             : %s\n", res.variant.c_str());
+    std::printf("threads x instr     : %d x %lu\n", params.numThreads,
+                static_cast<unsigned long>(params.instrPerThread));
+    std::printf("simulated exec time : %.3f ms\n", res.execMs());
+    std::printf("IPC                 : %.3f\n", res.ipc());
+    std::printf("context switches    : %lu\n",
+                static_cast<unsigned long>(res.contextSwitches));
+    std::printf("SSD reads hit/miss  : %lu / %lu\n",
+                static_cast<unsigned long>(res.ssdReadHits),
+                static_cast<unsigned long>(res.ssdReadMisses));
+    std::printf("SSD writes (S-W)    : %lu\n",
+                static_cast<unsigned long>(res.ssdWrites));
+    std::printf("flash page programs : %lu (+%lu GC)\n",
+                static_cast<unsigned long>(res.flashHostPrograms),
+                static_cast<unsigned long>(res.flashGcPrograms));
+    std::printf("pages promoted      : %lu\n",
+                static_cast<unsigned long>(res.promotions));
+    std::printf("AMAT                : %.1f ns (host %.1f | cxl %.1f | "
+                "idx %.1f | dram %.1f | flash %.1f)\n",
+                ticksToNs(static_cast<Tick>(res.amatTotalTicks)),
+                ticksToNs(static_cast<Tick>(res.amatHostTicks)),
+                ticksToNs(static_cast<Tick>(res.amatProtocolTicks)),
+                ticksToNs(static_cast<Tick>(res.amatIndexingTicks)),
+                ticksToNs(static_cast<Tick>(res.amatSsdDramTicks)),
+                ticksToNs(static_cast<Tick>(res.amatFlashTicks)));
+    std::printf("memory-bound share  : %.1f%%\n",
+                100.0 * static_cast<double>(res.memStallTicks)
+                    / static_cast<double>(res.memStallTicks
+                                          + res.computeTicks
+                                          + res.ctxSwitchTicks));
+    return 0;
+}

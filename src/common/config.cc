@@ -1,0 +1,123 @@
+#include "common/config.h"
+
+#include <stdexcept>
+
+namespace skybyte {
+
+NandTiming
+nandTiming(NandType type)
+{
+    switch (type) {
+      case NandType::ULL: // Samsung Z-NAND
+        return {usToTicks(3.0), usToTicks(100.0), usToTicks(1000.0)};
+      case NandType::ULL2: // Toshiba XL-Flash
+        return {usToTicks(4.0), usToTicks(75.0), usToTicks(850.0)};
+      case NandType::SLC:
+        return {usToTicks(25.0), usToTicks(200.0), usToTicks(1500.0)};
+      case NandType::MLC:
+        return {usToTicks(50.0), usToTicks(600.0), usToTicks(3000.0)};
+    }
+    throw std::invalid_argument("unknown NandType");
+}
+
+DramBankTiming
+ddr5BankTiming()
+{
+    // DDR5-4800 runs the command clock at 2400 MHz (0.4167 ns/cycle);
+    // Table II's 36-38-38 is CL-tRCD-tRP in those cycles.
+    DramBankTiming t;
+    t.banksPerChannel = 32;
+    t.rowBytes = 8192;
+    t.tCas = nsToTicks(36 / 2.4);
+    t.tRcd = nsToTicks(38 / 2.4);
+    t.tRp = nsToTicks(38 / 2.4);
+    return t;
+}
+
+DramBankTiming
+lpddr4BankTiming()
+{
+    // LPDDR4-3200's command clock is 1600 MHz (0.625 ns/cycle);
+    // Table II's 16-18-18 is CL-tRCD-tRP in those cycles.
+    DramBankTiming t;
+    t.banksPerChannel = 8;
+    t.rowBytes = 4096;
+    t.tCas = nsToTicks(16 / 1.6);
+    t.tRcd = nsToTicks(18 / 1.6);
+    t.tRp = nsToTicks(18 / 1.6);
+    return t;
+}
+
+std::string
+nandTypeName(NandType type)
+{
+    switch (type) {
+      case NandType::ULL: return "ULL";
+      case NandType::ULL2: return "ULL2";
+      case NandType::SLC: return "SLC";
+      case NandType::MLC: return "MLC";
+    }
+    return "?";
+}
+
+SimConfig
+makeConfig(const std::string &variant)
+{
+    SimConfig cfg;
+    cfg.name = variant;
+    auto &p = cfg.policy;
+    if (variant == "Base-CSSD") {
+        // all SkyByte features off
+    } else if (variant == "SkyByte-C") {
+        p.deviceTriggeredCtxSwitch = true;
+    } else if (variant == "SkyByte-P") {
+        p.promotionEnable = true;
+        p.migration = MigrationMechanism::SkyByte;
+    } else if (variant == "SkyByte-W") {
+        p.writeLogEnable = true;
+    } else if (variant == "SkyByte-CP") {
+        p.deviceTriggeredCtxSwitch = true;
+        p.promotionEnable = true;
+        p.migration = MigrationMechanism::SkyByte;
+    } else if (variant == "SkyByte-WP") {
+        p.writeLogEnable = true;
+        p.promotionEnable = true;
+        p.migration = MigrationMechanism::SkyByte;
+    } else if (variant == "SkyByte-Full") {
+        p.deviceTriggeredCtxSwitch = true;
+        p.writeLogEnable = true;
+        p.promotionEnable = true;
+        p.migration = MigrationMechanism::SkyByte;
+    } else if (variant == "DRAM-Only") {
+        cfg.dramOnly = true;
+        cfg.preconditionSsd = false;
+    } else if (variant == "SkyByte-CT") {
+        p.deviceTriggeredCtxSwitch = true;
+        p.promotionEnable = true;
+        p.migration = MigrationMechanism::Tpp;
+    } else if (variant == "SkyByte-WCT") {
+        p.deviceTriggeredCtxSwitch = true;
+        p.writeLogEnable = true;
+        p.promotionEnable = true;
+        p.migration = MigrationMechanism::Tpp;
+    } else if (variant == "AstriFlash-CXL") {
+        p.deviceTriggeredCtxSwitch = true;
+        p.promotionEnable = true;
+        p.migration = MigrationMechanism::AstriFlash;
+    } else {
+        throw std::invalid_argument("unknown variant: " + variant);
+    }
+    return cfg;
+}
+
+const std::vector<std::string> &
+allVariantNames()
+{
+    static const std::vector<std::string> names = {
+        "Base-CSSD",  "SkyByte-P",  "SkyByte-C",   "SkyByte-W",
+        "SkyByte-CP", "SkyByte-WP", "SkyByte-Full", "DRAM-Only",
+    };
+    return names;
+}
+
+} // namespace skybyte

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives the whole system: cores, DRAM channels, the
+ * CXL link, flash channels, and background jobs (log compaction, GC, page
+ * migration) all schedule closures here. Events at the same tick execute
+ * in FIFO order of scheduling, which keeps runs deterministic.
+ */
+
+#ifndef SKYBYTE_COMMON_EVENT_QUEUE_H
+#define SKYBYTE_COMMON_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace skybyte {
+
+/** Callback executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * Time-ordered event queue with deterministic same-tick ordering.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * Scheduling in the past clamps to now().
+     */
+    void
+    schedule(Tick when, EventFn fn)
+    {
+        if (when < now_)
+            when = now_;
+        heap_.push(Entry{when, seq_++, std::move(fn)});
+    }
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void
+    scheduleAfter(Tick delay, EventFn fn)
+    {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Execute the next event, advancing time to it.
+     * @retval false if the queue was empty.
+     */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        // Move the entry out before popping so the callback may schedule.
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.fn();
+        return true;
+    }
+
+    /** Run until the queue drains or @p limit ticks elapse. */
+    void
+    run(Tick limit = kTickMax)
+    {
+        while (!heap_.empty() && heap_.top().when <= limit) {
+            if (!step())
+                break;
+        }
+        if (heap_.empty() && limit != kTickMax && now_ < limit)
+            now_ = limit;
+    }
+
+    /** Drop all pending events and reset the clock (tests only). */
+    void
+    reset()
+    {
+        heap_ = {};
+        now_ = 0;
+        seq_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace skybyte
+
+#endif // SKYBYTE_COMMON_EVENT_QUEUE_H

@@ -1,0 +1,178 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace skybyte {
+
+int
+LatencyHistogram::bucketOf(Tick t)
+{
+    if (t == 0)
+        return 0;
+    const int msb = 63 - __builtin_clzll(t);
+    // Sub-bucket from the bits just below the MSB.
+    int sub = 0;
+    if (msb >= 3)
+        sub = static_cast<int>((t >> (msb - 3)) & 0x7);
+    else
+        sub = static_cast<int>((t << (3 - msb)) & 0x7);
+    int b = msb * kBucketsPerOctave + sub;
+    return std::min(b, kNumBuckets - 1);
+}
+
+Tick
+LatencyHistogram::bucketUpperBound(int b)
+{
+    const int msb = b / kBucketsPerOctave;
+    const int sub = b % kBucketsPerOctave;
+    if (msb >= 62)
+        return kTickMax;
+    const Tick base = Tick{1} << msb;
+    return base + ((base >> 3) * (sub + 1));
+}
+
+void
+LatencyHistogram::record(Tick t)
+{
+    buckets_[bucketOf(t)]++;
+    count_++;
+    sum_ += static_cast<double>(t);
+}
+
+double
+LatencyHistogram::meanTicks() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+Tick
+LatencyHistogram::percentileTicks(double p) const
+{
+    if (count_ == 0)
+        return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        p * static_cast<double>(count_));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+        seen += buckets_[b];
+        if (seen >= target && buckets_[b] > 0)
+            return bucketUpperBound(b);
+    }
+    return bucketUpperBound(kNumBuckets - 1);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (int b = 0; b < kNumBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+std::vector<std::pair<double, double>>
+LatencyHistogram::cdfPoints() const
+{
+    std::vector<std::pair<double, double>> points;
+    if (count_ == 0)
+        return points;
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+        if (buckets_[b] == 0)
+            continue;
+        cum += buckets_[b];
+        points.emplace_back(ticksToNs(bucketUpperBound(b)),
+                            static_cast<double>(cum)
+                                / static_cast<double>(count_));
+    }
+    return points;
+}
+
+void
+LatencyHistogram::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+void
+RatioHistogram::record(double r)
+{
+    r = std::clamp(r, 0.0, 1.0);
+    int b = static_cast<int>(r * kNumBuckets);
+    b = std::min(b, kNumBuckets - 1);
+    buckets_[b]++;
+    count_++;
+    sum_ += r;
+}
+
+double
+RatioHistogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+RatioHistogram::cdfAt(double r) const
+{
+    if (count_ == 0)
+        return 0.0;
+    r = std::clamp(r, 0.0, 1.0);
+    const int limit = std::min(static_cast<int>(r * kNumBuckets),
+                               kNumBuckets - 1);
+    std::uint64_t cum = 0;
+    for (int b = 0; b <= limit; ++b)
+        cum += buckets_[b];
+    return static_cast<double>(cum) / static_cast<double>(count_);
+}
+
+std::vector<std::pair<double, double>>
+RatioHistogram::cdfPoints() const
+{
+    std::vector<std::pair<double, double>> points;
+    if (count_ == 0)
+        return points;
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+        if (buckets_[b] == 0)
+            continue;
+        cum += buckets_[b];
+        points.emplace_back(static_cast<double>(b + 1) / kNumBuckets,
+                            static_cast<double>(cum)
+                                / static_cast<double>(count_));
+    }
+    return points;
+}
+
+void
+RatioHistogram::merge(const RatioHistogram &other)
+{
+    for (int b = 0; b < kNumBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+RatioHistogram::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+double
+geoMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double x : xs)
+        logSum += std::log(std::max(x, 1e-300));
+    return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+} // namespace skybyte

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Statistics primitives: log-bucketed latency histograms (Figure 3 CDFs),
+ * linear ratio histograms (Figures 5/6 locality CDFs), and small helpers
+ * for mean/percentile reporting.
+ */
+
+#ifndef SKYBYTE_COMMON_STATS_H
+#define SKYBYTE_COMMON_STATS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace skybyte {
+
+/**
+ * Histogram of latencies with logarithmically spaced buckets
+ * (8 buckets per power of two), covering ~1 ns to ~100 ms in ticks.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr int kBucketsPerOctave = 8;
+    static constexpr int kOctaves = 40;
+    static constexpr int kNumBuckets = kBucketsPerOctave * kOctaves;
+
+    /** Record one sample of @p t ticks. */
+    void record(Tick t);
+
+    /** Total number of samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** Arithmetic mean in ticks (0 when empty). */
+    double meanTicks() const;
+
+    /** Approximate p-th percentile (p in [0,1]) in ticks. */
+    Tick percentileTicks(double p) const;
+
+    /** Merge another histogram into this one. */
+    void merge(const LatencyHistogram &other);
+
+    /**
+     * Emit (latency_ns, cumulative_fraction) pairs, one per non-empty
+     * bucket, suitable for plotting the Figure 3 CDFs.
+     */
+    std::vector<std::pair<double, double>> cdfPoints() const;
+
+    void reset();
+
+  private:
+    static int bucketOf(Tick t);
+    static Tick bucketUpperBound(int b);
+
+    std::array<std::uint64_t, kNumBuckets> buckets_ = {};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Histogram over a ratio in [0,1] with 64 linear buckets. Used for the
+ * "fraction of cachelines accessed / dirty per page" distributions that
+ * back Figures 5 and 6.
+ */
+class RatioHistogram
+{
+  public:
+    static constexpr int kNumBuckets = 64;
+
+    /** Record a sample @p r, clamped into [0,1]. */
+    void record(double r);
+
+    std::uint64_t count() const { return count_; }
+
+    double mean() const;
+
+    /** Fraction of samples with ratio <= r. */
+    double cdfAt(double r) const;
+
+    /** Emit (ratio, cumulative_fraction) pairs for plotting. */
+    std::vector<std::pair<double, double>> cdfPoints() const;
+
+    void merge(const RatioHistogram &other);
+
+    void reset();
+
+  private:
+    std::array<std::uint64_t, kNumBuckets> buckets_ = {};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/** Geometric mean of @p xs (returns 0 for empty input). */
+double geoMean(const std::vector<double> &xs);
+
+} // namespace skybyte
+
+#endif // SKYBYTE_COMMON_STATS_H

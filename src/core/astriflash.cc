@@ -1,0 +1,135 @@
+#include "core/astriflash.h"
+
+namespace skybyte {
+
+AstriFlashCache::AstriFlashCache(const SimConfig &cfg, EventQueue &eq,
+                                 SsdController &ssd, DramModel &host_dram)
+    : cfg_(cfg), eq_(eq), ssd_(ssd), hostDram_(host_dram),
+      tags_(cfg.hostMem.promotedBytesMax, 8)
+{}
+
+void
+AstriFlashCache::respond(const LineWaiter &w, std::uint64_t lpn,
+                         const PageData &data, Tick t_page)
+{
+    const Addr line_addr = lpn * kPageBytes
+                           + static_cast<Addr>(w.off) * kCachelineBytes;
+    const Tick t_data =
+        hostDram_.serviceAt(t_page, kCachelineBytes, line_addr);
+    MemResponse resp;
+    resp.kind = MemResponseKind::Data;
+    resp.lineAddr = line_addr;
+    resp.value = data[w.off];
+    eq_.schedule(t_data, [cb = w.cb, resp] { cb(resp); });
+}
+
+void
+AstriFlashCache::read(Addr dev_line_addr, Tick when, MemCallback cb)
+{
+    const std::uint64_t lpn = pageNumber(dev_line_addr);
+    const std::uint32_t off = lineInPage(dev_line_addr);
+
+    if (CachedPage *page = tags_.lookup(lpn)) {
+        astriStats_.hostHits++;
+        page->touchedMask |= 1ULL << off;
+        const Tick t_data =
+            hostDram_.serviceAt(when, kCachelineBytes, dev_line_addr);
+        MemResponse resp;
+        resp.kind = MemResponseKind::Data;
+        resp.lineAddr = dev_line_addr;
+        resp.value = page->data[off];
+        eq_.schedule(t_data, [cb = std::move(cb), resp] { cb(resp); });
+        return;
+    }
+
+    astriStats_.hostMisses++;
+    const bool filling = pending_.count(lpn) != 0;
+    if (!filling)
+        startFill(lpn, when);
+
+    if (cfg_.policy.deviceTriggeredCtxSwitch) {
+        // AstriFlash switches user-level threads on every host DRAM
+        // miss; the preset sets a sub-microsecond switch overhead.
+        astriStats_.userSwitchHints++;
+        MemResponse resp;
+        resp.kind = MemResponseKind::DelayHint;
+        resp.lineAddr = dev_line_addr;
+        eq_.schedule(when + nsToTicks(20.0),
+                     [cb = std::move(cb), resp] { cb(resp); });
+        return;
+    }
+    pending_[lpn].readers.push_back({off, when, std::move(cb)});
+}
+
+void
+AstriFlashCache::write(Addr dev_line_addr, LineValue value, Tick when)
+{
+    const std::uint64_t lpn = pageNumber(dev_line_addr);
+    const std::uint32_t off = lineInPage(dev_line_addr);
+
+    if (CachedPage *page = tags_.lookup(lpn)) {
+        hostDram_.serviceAt(when, kCachelineBytes, dev_line_addr);
+        page->data[off] = value;
+        page->dirty = true;
+        page->dirtyMask |= 1ULL << off;
+        page->touchedMask |= 1ULL << off;
+        return;
+    }
+    // Write-allocate at page granularity.
+    auto it = pending_.find(lpn);
+    if (it == pending_.end()) {
+        astriStats_.hostMisses++;
+        startFill(lpn, when);
+        it = pending_.find(lpn);
+    }
+    it->second.writes.emplace_back(off, value);
+}
+
+void
+AstriFlashCache::startFill(std::uint64_t lpn, Tick when)
+{
+    pending_.try_emplace(lpn);
+    ssd_.readPageToHost(lpn, when,
+                        [this, lpn](Tick t, const PageData &data) {
+        auto node = pending_.extract(lpn);
+        astriStats_.pageFills++;
+
+        PageData merged = data;
+        if (!node.empty()) {
+            for (const auto &[off, value] : node.mapped().writes)
+                merged[off] = value;
+        }
+
+        const Tick t_ins = hostDram_.serviceAt(t, kPageBytes,
+                                               lpn * kPageBytes);
+        PageEvict ev = tags_.fill(lpn, merged);
+        if (CachedPage *page = tags_.lookup(lpn)) {
+            if (!node.empty()) {
+                for (const auto &[off, value] : node.mapped().writes) {
+                    page->dirty = true;
+                    page->dirtyMask |= 1ULL << off;
+                    page->touchedMask |= 1ULL << off;
+                    (void)value;
+                }
+            }
+        }
+        if (ev.evicted && ev.dirty) {
+            astriStats_.dirtyWritebacks++;
+            ssd_.writePageFromHost(ev.lpn, ev.data, t_ins);
+        }
+        if (!node.empty()) {
+            for (const auto &w : node.mapped().readers)
+                respond(w, lpn, merged, t_ins);
+        }
+    });
+}
+
+LineValue
+AstriFlashCache::peekLine(Addr dev_line_addr)
+{
+    if (const CachedPage *page = tags_.probe(pageNumber(dev_line_addr)))
+        return page->data[lineInPage(dev_line_addr)];
+    return ssd_.peekLine(dev_line_addr);
+}
+
+} // namespace skybyte

@@ -1,0 +1,276 @@
+#include "core/migration.h"
+
+#include <algorithm>
+
+namespace skybyte {
+
+MigrationEngine::MigrationEngine(const SimConfig &cfg, EventQueue &eq,
+                                 SsdController &ssd, DramModel &host_dram,
+                                 CxlLink &link)
+    : cfg_(cfg), eq_(eq), ssd_(ssd), hostDram_(host_dram), link_(link),
+      rng_(cfg.seed ^ 0x711fULL), plb_(cfg.hostMem.plbEntries)
+{
+    if (cfg_.hostMem.hugePageBytes >= kPageBytes) {
+        regionPages_ = static_cast<std::uint32_t>(
+            cfg_.hostMem.hugePageBytes / kPageBytes);
+    }
+    if (cfg_.policy.migration == MigrationMechanism::SkyByte) {
+        ssd_.setHotPageHook([this](std::uint64_t lpn, Tick now) {
+            return onHotPage(lpn, now);
+        });
+    }
+}
+
+PageHome
+MigrationEngine::route(std::uint64_t lpn, std::uint32_t line, Tick now,
+                       bool is_write)
+{
+    if (const Plb::Entry *entry = plb_.find(lpn)) {
+        // Region under promotion (§III-C): reads are served from the
+        // SSD DRAM; only writes whose migrated bit is set chase the
+        // fresh host copy.
+        if (!is_write)
+            return PageHome::Ssd;
+        const auto chunk =
+            static_cast<std::uint32_t>(lpn - entry->baseLpn);
+        // Either way the write only survives in the host copy once the
+        // migration completes (the SSD drops its log/cache state), so
+        // the page must demote dirty later.
+        migratingDirty_[entry->baseLpn].insert(lpn);
+        if (entry->lineMigrated(chunk, line)) {
+            migStats_.inflightWriteRedirects++;
+            return PageHome::Host;
+        }
+        return PageHome::Ssd; // copy of this line picks the write up
+    }
+    const std::uint64_t base = regionBase(lpn);
+    auto it = promoted_.find(base);
+    if (it != promoted_.end()) {
+        it->second.lastUse = now;
+        if (is_write)
+            it->second.dirtyPages.insert(lpn);
+        if (cfg_.hostMem.reclaim == ReclaimPolicy::ActiveInactive)
+            lists_.touch(base, now);
+        return PageHome::Host;
+    }
+    return PageHome::Ssd;
+}
+
+bool
+MigrationEngine::onHotPage(std::uint64_t lpn, Tick now)
+{
+    const std::uint64_t base = regionBase(lpn);
+    // Pinned pages stay on the device for persistence (§IV).
+    if (regionPinned(base))
+        return true; // latch: never a candidate
+    if (promoted_.count(base) != 0 || plb_.find(lpn) != nullptr)
+        return true; // already handled; latch it
+    if (plb_.full()) {
+        migStats_.rejectedPlbFull++;
+        return false;
+    }
+    // SkyByte only migrates pages resident in the SSD data cache
+    // (§III-C), since those are the verified-hot candidates. For huge
+    // pages the residency test applies to the 4 KB page that tripped
+    // the threshold (§IV: the host migrates the enclosing huge page).
+    if (!ssd_.isPageCached(lpn)) {
+        migStats_.rejectedNotCached++;
+        return false;
+    }
+    return promote(base, now, 0);
+}
+
+void
+MigrationEngine::onSsdAccess(std::uint64_t lpn, Tick now)
+{
+    if (cfg_.policy.migration != MigrationMechanism::Tpp)
+        return;
+    const std::uint64_t base = regionBase(lpn);
+    if (regionPinned(base))
+        return; // pinned for persistence (§IV)
+    if (promoted_.count(base) != 0 || plb_.find(lpn) != nullptr)
+        return;
+    // NUMA-hint-fault style sampling: 1/16 of accesses are observed.
+    if (!rng_.chance(1.0 / 16.0))
+        return;
+    if (++tppScores_[base] < 2)
+        return;
+    tppScores_.erase(base);
+    if (plb_.full()) {
+        migStats_.rejectedPlbFull++;
+        return;
+    }
+    // TPP pays a software page-fault + kernel-migration cost on top of
+    // the copy itself.
+    promote(base, now, usToTicks(3.0));
+}
+
+bool
+MigrationEngine::promote(std::uint64_t base, Tick now, Tick extra_cost)
+{
+    const std::uint64_t region_bytes =
+        static_cast<std::uint64_t>(regionPages_) * kPageBytes;
+    // Anti-thrash guard: when the host budget is full, only displace a
+    // region that has been idle for a while. If even the coldest
+    // promoted region is recently used, the hot set exceeds the budget
+    // and migrating would just churn (page copies + TLB shootdowns), so
+    // the candidate is rejected and stays eligible for later.
+    while (promotedBytes() + region_bytes > cfg_.hostMem.promotedBytesMax
+           && !promoted_.empty()) {
+        if (!demoteColdest(now, kAntiThrashIdle))
+            return false;
+    }
+    if (promotedBytes() + region_bytes > cfg_.hostMem.promotedBytesMax)
+        return false;
+
+    Plb::Entry *entry = plb_.allocate(base, regionPages_);
+    if (entry == nullptr) {
+        migStats_.rejectedPlbFull++;
+        return false;
+    }
+
+    // Timing: MSI-X to the host, then the copy proceeds in cacheline
+    // bursts tracked by the PLB entry (chunk-by-chunk for huge pages).
+    const Tick t_irq = now + cfg_.hostMem.msixLatency + extra_cost;
+    scheduleBurst(base, 0, t_irq);
+    return true;
+}
+
+void
+MigrationEngine::scheduleBurst(std::uint64_t base, std::uint64_t line_idx,
+                               Tick when)
+{
+    const std::uint64_t total_lines =
+        static_cast<std::uint64_t>(regionPages_) * kLinesPerPage;
+    const auto burst = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(
+            std::max<std::uint32_t>(cfg_.hostMem.plbBurstLines, 1),
+            total_lines - line_idx));
+    const Tick t_done =
+        link_.deliverToHost(when, burst * kCachelineBytes);
+    eq_.schedule(t_done, [this, base, line_idx, burst] {
+        completeBurst(base, line_idx, burst);
+    });
+}
+
+void
+MigrationEngine::completeBurst(std::uint64_t base, std::uint64_t line_idx,
+                               std::uint32_t lines)
+{
+    Plb::Entry *entry = plb_.find(base);
+    if (entry == nullptr)
+        return; // released concurrently: stale event
+    bool done = false;
+    for (std::uint32_t i = 0; i < lines; ++i) {
+        const std::uint64_t global = line_idx + i;
+        const auto chunk = static_cast<std::uint32_t>(
+            global / kLinesPerPage);
+        const auto off = static_cast<std::uint32_t>(
+            global % kLinesPerPage);
+        const std::uint64_t lpn = base + chunk;
+        // The SSD still holds the freshest value for an unmigrated
+        // line (writes kept landing there), so copying now is exact.
+        hostDram_.poke(hostKeyOf(lpn, off),
+                       ssd_.peekLine(lpn * kPageBytes
+                                     + static_cast<Addr>(off)
+                                           * kCachelineBytes));
+        done = plb_.markLine(*entry, chunk, off);
+    }
+    if (!done) {
+        scheduleBurst(base, line_idx + lines, eq_.now());
+        return;
+    }
+    finishMigration(base);
+}
+
+void
+MigrationEngine::finishMigration(std::uint64_t base)
+{
+    // PTE update (+ custom NVMe notify for huge pages, §IV) before the
+    // region becomes host-resident.
+    Tick t_done = eq_.now() + nsToTicks(500.0);
+    const bool huge = regionPages_ > 1;
+    if (huge)
+        t_done += cfg_.hostMem.nvmeNotifyLatency;
+    eq_.schedule(t_done, [this, base, huge] {
+        const Tick now = eq_.now();
+        plb_.release(base);
+        PromotedRegion region;
+        region.lastUse = now;
+        auto dirty = migratingDirty_.find(base);
+        if (dirty != migratingDirty_.end()) {
+            region.dirtyPages = std::move(dirty->second);
+            migratingDirty_.erase(dirty);
+        }
+        promoted_[base] = std::move(region);
+        for (std::uint32_t p = 0; p < regionPages_; ++p)
+            ssd_.dropMigratedPage(base + p);
+        if (huge)
+            migStats_.nvmeNotifies++;
+        if (cfg_.hostMem.reclaim == ReclaimPolicy::ActiveInactive)
+            lists_.insert(base, now);
+        migStats_.promotions++;
+        migStats_.tlbShootdowns++;
+        if (shootdownHook_)
+            shootdownHook_(cfg_.hostMem.tlbShootdownCost);
+    });
+}
+
+bool
+MigrationEngine::selectVictimLru(Tick now, Tick min_idle,
+                                 std::uint64_t &victim)
+{
+    auto victim_it = promoted_.end();
+    for (auto it = promoted_.begin(); it != promoted_.end(); ++it) {
+        if (victim_it == promoted_.end()
+            || it->second.lastUse < victim_it->second.lastUse) {
+            victim_it = it;
+        }
+    }
+    if (victim_it == promoted_.end())
+        return false;
+    if (min_idle > 0 && victim_it->second.lastUse + min_idle > now)
+        return false; // even the coldest region is hot: do not churn
+    victim = victim_it->first;
+    return true;
+}
+
+bool
+MigrationEngine::demoteColdest(Tick now, Tick min_idle)
+{
+    std::uint64_t victim = 0;
+    if (cfg_.hostMem.reclaim == ReclaimPolicy::ActiveInactive) {
+        if (!lists_.selectVictim(now, min_idle, victim))
+            return false;
+    } else if (!selectVictimLru(now, min_idle, victim)) {
+        return false;
+    }
+    demoteRegion(victim, now);
+    return true;
+}
+
+void
+MigrationEngine::demoteRegion(std::uint64_t base, Tick now)
+{
+    auto it = promoted_.find(base);
+    if (it == promoted_.end())
+        return;
+    // Copy the host copy back into fresh SSD pages (§III-C eviction).
+    // Clean pages need no copy at all: flash still holds their data.
+    for (std::uint64_t lpn : it->second.dirtyPages) {
+        PageData data{};
+        for (std::uint32_t off = 0; off < kLinesPerPage; ++off)
+            data[off] = hostDram_.peek(hostKeyOf(lpn, off));
+        ssd_.writePageFromHost(lpn, data, now);
+    }
+    promoted_.erase(it);
+    if (cfg_.hostMem.reclaim == ReclaimPolicy::ActiveInactive)
+        lists_.erase(base); // no-op when chosen via selectVictim
+
+    migStats_.demotions++;
+    migStats_.tlbShootdowns++;
+    if (shootdownHook_)
+        shootdownHook_(cfg_.hostMem.tlbShootdownCost);
+}
+
+} // namespace skybyte

@@ -1,0 +1,134 @@
+#include "core/page_cache.h"
+
+#include <algorithm>
+
+namespace skybyte {
+
+PageCache::PageCache(std::uint64_t capacity_bytes, std::uint32_t ways)
+{
+    ways_ = std::max<std::uint32_t>(ways, 1);
+    capacityPages_ = std::max<std::uint64_t>(capacity_bytes / kPageBytes,
+                                             ways_);
+    std::uint64_t sets = capacityPages_ / ways_;
+    std::uint32_t pow2 = 1;
+    while (static_cast<std::uint64_t>(pow2) * 2 <= sets)
+        pow2 *= 2;
+    numSets_ = pow2;
+    capacityPages_ = static_cast<std::uint64_t>(numSets_) * ways_;
+    entries_.assign(capacityPages_, CachedPage{});
+}
+
+std::uint32_t
+PageCache::setOf(std::uint64_t lpn) const
+{
+    std::uint64_t x = lpn;
+    x ^= x >> 15;
+    x *= 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 31;
+    return static_cast<std::uint32_t>(x & (numSets_ - 1));
+}
+
+CachedPage *
+PageCache::lookup(std::uint64_t lpn)
+{
+    CachedPage *set = &entries_[static_cast<std::size_t>(setOf(lpn))
+                                * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].lpn == lpn) {
+            set[w].lru = ++lruClock_;
+            hits_++;
+            return &set[w];
+        }
+    }
+    misses_++;
+    return nullptr;
+}
+
+const CachedPage *
+PageCache::probe(std::uint64_t lpn) const
+{
+    const CachedPage *set =
+        &entries_[static_cast<std::size_t>(setOf(lpn)) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].lpn == lpn)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+PageEvict
+PageCache::fill(std::uint64_t lpn, const PageData &data)
+{
+    PageEvict out;
+    CachedPage *set = &entries_[static_cast<std::size_t>(setOf(lpn))
+                                * ways_];
+    CachedPage *victim = nullptr;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].lpn == lpn) {
+            // Refresh in place (racing fills).
+            set[w].data = data;
+            set[w].lru = ++lruClock_;
+            return out;
+        }
+    }
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (victim == nullptr || set[w].lru < victim->lru)
+            victim = &set[w];
+    }
+    if (victim->valid) {
+        out.evicted = true;
+        out.dirty = victim->dirty;
+        out.lpn = victim->lpn;
+        out.touchedMask = victim->touchedMask;
+        out.dirtyMask = victim->dirtyMask;
+        out.data = victim->data;
+    } else {
+        resident_++;
+    }
+    victim->lpn = lpn;
+    victim->valid = true;
+    victim->dirty = false;
+    victim->touchedMask = 0;
+    victim->dirtyMask = 0;
+    victim->lru = ++lruClock_;
+    victim->data = data;
+    return out;
+}
+
+bool
+PageCache::invalidate(std::uint64_t lpn, PageEvict *out)
+{
+    CachedPage *set = &entries_[static_cast<std::size_t>(setOf(lpn))
+                                * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].lpn == lpn) {
+            if (out != nullptr) {
+                out->evicted = true;
+                out->dirty = set[w].dirty;
+                out->lpn = lpn;
+                out->touchedMask = set[w].touchedMask;
+                out->dirtyMask = set[w].dirtyMask;
+                out->data = set[w].data;
+            }
+            set[w].valid = false;
+            resident_--;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+PageCache::forEach(const std::function<void(CachedPage &)> &fn)
+{
+    for (auto &page : entries_) {
+        if (page.valid)
+            fn(page);
+    }
+}
+
+} // namespace skybyte

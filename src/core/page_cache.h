@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Page-granular read-write data cache in SSD DRAM (§III-B). Set
+ * associative with true LRU (the paper notes LRU keeps a requested page
+ * resident until its thread resumes). Each entry tracks per-line
+ * touched/dirty bitmaps so evictions can feed the Figure 5/6 locality
+ * histograms and Base-CSSD's dirty-page writebacks.
+ */
+
+#ifndef SKYBYTE_CORE_PAGE_CACHE_H
+#define SKYBYTE_CORE_PAGE_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "ssd/ftl.h"
+
+namespace skybyte {
+
+/** One resident page. */
+struct CachedPage
+{
+    std::uint64_t lpn = 0;
+    bool valid = false;
+    bool dirty = false;          ///< any line dirty (Base-CSSD mode)
+    std::uint64_t touchedMask = 0; ///< lines read/written while resident
+    std::uint64_t dirtyMask = 0;   ///< lines written while resident
+    std::uint64_t lru = 0;
+    PageData data{};
+};
+
+/** Result of inserting a page. */
+struct PageEvict
+{
+    bool evicted = false;
+    bool dirty = false;
+    std::uint64_t lpn = 0;
+    std::uint64_t touchedMask = 0;
+    std::uint64_t dirtyMask = 0;
+    PageData data{};
+};
+
+/**
+ * Set-associative cache of 4 KB pages.
+ */
+class PageCache
+{
+  public:
+    PageCache(std::uint64_t capacity_bytes, std::uint32_t ways);
+
+    /** Find @p lpn (updates LRU). */
+    CachedPage *lookup(std::uint64_t lpn);
+
+    /** Find @p lpn without touching LRU. */
+    const CachedPage *probe(std::uint64_t lpn) const;
+
+    /**
+     * Insert a page, evicting LRU if needed. The caller owns handling
+     * the eviction (write back dirty pages, record locality stats).
+     */
+    PageEvict fill(std::uint64_t lpn, const PageData &data);
+
+    /** Remove @p lpn (migration completion). @retval true if present. */
+    bool invalidate(std::uint64_t lpn, PageEvict *out = nullptr);
+
+    std::uint64_t capacityPages() const { return capacityPages_; }
+    std::uint64_t residentPages() const { return resident_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Iterate resident pages (compaction flush path). */
+    void forEach(const std::function<void(CachedPage &)> &fn);
+
+  private:
+    std::uint32_t setOf(std::uint64_t lpn) const;
+
+    std::uint64_t capacityPages_;
+    std::uint32_t ways_;
+    std::uint32_t numSets_;
+    std::vector<CachedPage> entries_;
+    std::uint64_t lruClock_ = 0;
+    std::uint64_t resident_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace skybyte
+
+#endif // SKYBYTE_CORE_PAGE_CACHE_H

@@ -1,0 +1,112 @@
+#include "core/plb.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace skybyte {
+
+bool
+Plb::Entry::lineMigrated(std::uint32_t chunk, std::uint32_t line) const
+{
+    if (chunk >= regionPages || line >= kLinesPerPage)
+        return false;
+    if ((chunkBitmap[chunk / 64] >> (chunk % 64)) & 1ULL)
+        return true; // whole chunk done (first level, §IV)
+    if (chunk != currentChunk)
+        return false; // chunks migrate in order; later chunks untouched
+    return (lineBitmap >> line) & 1ULL;
+}
+
+std::uint32_t
+Plb::Entry::chunksDone() const
+{
+    std::uint32_t done = 0;
+    for (std::uint64_t word : chunkBitmap)
+        done += static_cast<std::uint32_t>(std::popcount(word));
+    return done;
+}
+
+std::uint32_t
+Plb::Entry::hardwareBytes() const
+{
+    // 4 KB entry (§III-C): 8 B src + 8 B dst + 8 B line bitmap + valid.
+    constexpr std::uint32_t kFlatEntry = 24;
+    if (!huge())
+        return kFlatEntry;
+    // Two-level entry (§IV): 64 B first-level chunk bitmap plus the one
+    // 8 B second-level line bitmap shared across the region.
+    return kFlatEntry + 64;
+}
+
+Plb::Entry *
+Plb::allocate(std::uint64_t base_lpn, std::uint32_t region_pages)
+{
+    if (full()) {
+        stats_.rejectedFull++;
+        return nullptr;
+    }
+    Entry entry;
+    entry.baseLpn = base_lpn;
+    entry.regionPages = std::max<std::uint32_t>(region_pages, 1);
+    auto [it, inserted] = entries_.emplace(base_lpn, entry);
+    if (!inserted)
+        return nullptr; // already migrating: caller bug, refuse quietly
+    for (std::uint32_t p = 0; p < entry.regionPages; ++p)
+        pageIndex_[base_lpn + p] = base_lpn;
+    stats_.allocations++;
+    stats_.peakOccupancy =
+        std::max<std::uint64_t>(stats_.peakOccupancy, entries_.size());
+    return &it->second;
+}
+
+Plb::Entry *
+Plb::find(std::uint64_t lpn)
+{
+    auto idx = pageIndex_.find(lpn);
+    if (idx == pageIndex_.end())
+        return nullptr;
+    auto it = entries_.find(idx->second);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+const Plb::Entry *
+Plb::find(std::uint64_t lpn) const
+{
+    auto idx = pageIndex_.find(lpn);
+    if (idx == pageIndex_.end())
+        return nullptr;
+    auto it = entries_.find(idx->second);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool
+Plb::markLine(Entry &entry, std::uint32_t chunk, std::uint32_t line)
+{
+    if (chunk != entry.currentChunk || line >= kLinesPerPage)
+        return false; // out-of-order chunk: ignore (§IV in-order copy)
+    entry.lineBitmap |= 1ULL << line;
+    stats_.lineCopies++;
+    if (entry.lineBitmap != ~0ULL)
+        return false;
+    // The in-flight chunk is complete: latch it into the first level
+    // and point the second-level bitmap at the next chunk.
+    entry.chunkBitmap[chunk / 64] |= 1ULL << (chunk % 64);
+    entry.lineBitmap = 0;
+    entry.currentChunk++;
+    stats_.chunkCompletions++;
+    return entry.currentChunk >= entry.regionPages;
+}
+
+void
+Plb::release(std::uint64_t base_lpn)
+{
+    auto it = entries_.find(base_lpn);
+    if (it == entries_.end())
+        return;
+    for (std::uint32_t p = 0; p < it->second.regionPages; ++p)
+        pageIndex_.erase(base_lpn + p);
+    entries_.erase(it);
+    stats_.releases++;
+}
+
+} // namespace skybyte

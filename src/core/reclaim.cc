@@ -1,0 +1,121 @@
+#include "core/reclaim.h"
+
+#include <iterator>
+
+namespace skybyte {
+
+void
+ActiveInactiveLists::insert(std::uint64_t key, Tick now)
+{
+    if (index_.count(key) != 0)
+        return;
+    active_.push_front(Node{key, false, now});
+    index_[key] = Position{true, active_.begin()};
+    rebalance();
+}
+
+void
+ActiveInactiveLists::touch(std::uint64_t key, Tick now)
+{
+    auto it = index_.find(key);
+    if (it == index_.end())
+        return;
+    Position &pos = it->second;
+    pos.it->lastUse = now;
+    if (pos.inActive) {
+        pos.it->referenced = true; // lazy: no list movement on hot path
+        return;
+    }
+    // Inactive page referenced: activate it (mm moves it to the active
+    // head and clears the referenced bit).
+    Node node = *pos.it;
+    inactive_.erase(pos.it);
+    node.referenced = false;
+    active_.push_front(node);
+    pos = Position{true, active_.begin()};
+    stats_.activations++;
+    rebalance();
+}
+
+void
+ActiveInactiveLists::erase(std::uint64_t key)
+{
+    auto it = index_.find(key);
+    if (it == index_.end())
+        return;
+    (it->second.inActive ? active_ : inactive_).erase(it->second.it);
+    index_.erase(it);
+}
+
+void
+ActiveInactiveLists::rebalance()
+{
+    while (active_.size() > 2 * (inactive_.size() + 1)) {
+        Node node = active_.back();
+        active_.pop_back();
+        if (node.referenced) {
+            // Second chance: back to the active head, bit cleared.
+            node.referenced = false;
+            active_.push_front(node);
+            index_[node.key] = Position{true, active_.begin()};
+            stats_.secondChances++;
+            continue;
+        }
+        inactive_.push_front(node);
+        index_[node.key] = Position{false, inactive_.begin()};
+        stats_.deactivations++;
+    }
+}
+
+bool
+ActiveInactiveLists::selectVictim(Tick now, Tick min_idle,
+                                  std::uint64_t &victim)
+{
+    // Bound the scan: each entry is inspected at most once per call.
+    std::uint64_t budget = index_.size();
+    while (budget-- > 0) {
+        if (inactive_.empty())
+            rebalance();
+        if (inactive_.empty()) {
+            // Everything is active: force-age the tail so the scan can
+            // make progress (mm's inactive_is_low path).
+            if (active_.empty())
+                return false;
+            Node node = active_.back();
+            active_.pop_back();
+            if (node.referenced) {
+                node.referenced = false;
+                active_.push_front(node);
+                index_[node.key] = Position{true, active_.begin()};
+                stats_.secondChances++;
+                continue;
+            }
+            inactive_.push_front(node);
+            index_[node.key] = Position{false, inactive_.begin()};
+            stats_.deactivations++;
+        }
+        Node node = inactive_.back();
+        inactive_.pop_back();
+        if (node.referenced) {
+            node.referenced = false;
+            active_.push_front(node);
+            index_[node.key] = Position{true, active_.begin()};
+            stats_.activations++;
+            continue;
+        }
+        if (min_idle > 0 && node.lastUse + min_idle > now) {
+            // Even the coldest unreferenced page is recent: refuse to
+            // churn. Put it back where it was.
+            inactive_.push_back(node);
+            index_[node.key] = Position{false, std::prev(inactive_.end())};
+            return false;
+        }
+        index_.erase(node.key);
+        stats_.evictions++;
+        victim = node.key;
+        return true;
+    }
+    return false;
+}
+
+} // namespace skybyte

@@ -1,0 +1,529 @@
+#include "core/ssd_controller.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "cxl/ndr.h"
+
+namespace skybyte {
+
+SsdController::SsdController(const SimConfig &cfg, EventQueue &eq,
+                             CxlLink &link)
+    : cfg_(cfg), eq_(eq), link_(link), dram_(eq, cfg.ssdDram),
+      ftl_(cfg.flash, eq, cfg.seed ^ 0xf7a5ULL),
+      cache_(cfg.ssdCache.dataCacheBytes, cfg.ssdCache.dataCacheWays)
+{
+    if (cfg.policy.writeLogEnable) {
+        log_ = std::make_unique<WriteLog>(
+            cfg.ssdCache.writeLogBytes,
+            cfg.ssdCache.logIndexInitialEntries,
+            cfg.ssdCache.logIndexLoadFactor);
+    }
+    compactJobs_.resize(cfg.flash.channels);
+}
+
+Tick
+SsdController::indexLatency() const
+{
+    // Log and cache indexes are probed in parallel (§III-B); the write
+    // log index is the slower of the two on the FPGA prototype (§V).
+    return logEnabled() ? std::max(cfg_.ssdCache.writeLogIndexLatency,
+                                   cfg_.ssdCache.dataCacheIndexLatency)
+                        : cfg_.ssdCache.dataCacheIndexLatency;
+}
+
+bool
+SsdController::shouldHint(std::uint64_t lpn, Tick now, Tick est) const
+{
+    if (!cfg_.policy.deviceTriggeredCtxSwitch)
+        return false;
+    // GC blocks the channel for milliseconds: always switch (§III-A).
+    if (ftl_.gcActiveFor(lpn))
+        return true;
+    (void)now;
+    return est > cfg_.policy.csThreshold;
+}
+
+void
+SsdController::sendDelayHint(Tick t, const MemCallback &cb)
+{
+    stats_.delayHintsSent++;
+    // The hint travels as a Figure 8 NDR flit with the SkyByte-Delay
+    // opcode: encoded device-side, decoded host-side. The tag is the
+    // link transaction tag of the blocked MemRd (C1/C2).
+    NdrMessage ndr;
+    ndr.valid = true;
+    ndr.opcode = CxlNdrOpcode::SkyByteDelay;
+    ndr.tag = link_.nextTag();
+    const NdrFlit flit = encodeNdr(ndr);
+    const Tick t_host = link_.deliverToHost(t, kHeaderBytes);
+    eq_.schedule(t_host, [cb, flit] {
+        const auto decoded = decodeNdr(flit);
+        assert(decoded
+               && decoded->opcode == CxlNdrOpcode::SkyByteDelay);
+        MemResponse resp;
+        resp.kind = MemResponseKind::DelayHint;
+        resp.tag = decoded ? decoded->tag : 0;
+        cb(resp);
+    });
+}
+
+void
+SsdController::touchForPromotion(std::uint64_t lpn, Tick now)
+{
+    if (!hotPageHook_
+        || cfg_.policy.migration != MigrationMechanism::SkyByte) {
+        return;
+    }
+    auto &count = accessCounts_[lpn];
+    if (count == ~0u)
+        return; // promotion already in flight / done
+    if (count < ~0u)
+        ++count;
+    // Only cache-resident pages are candidates (§III-C); a rejected
+    // candidate stays eligible and retries on a later access.
+    if (count >= cfg_.policy.hotPageThreshold && isPageCached(lpn)) {
+        if (hotPageHook_(lpn, now)) {
+            count = ~0u;
+            stats_.pagePromotionsSignalled++;
+        }
+    }
+}
+
+void
+SsdController::read(Addr dev_line_addr, Tick when, MemCallback cb)
+{
+    const std::uint64_t lpn = pageNumber(dev_line_addr);
+    const std::uint32_t off = lineInPage(dev_line_addr);
+    const Tick t_arr = link_.deliverToDevice(when, kHeaderBytes);
+    const Tick t_idx = t_arr + indexLatency();
+    touchForPromotion(lpn, t_arr);
+
+    // Parallel probe of write log and data cache (R1/R2 in Fig 11).
+    std::optional<LineValue> log_val;
+    if (logEnabled())
+        log_val = log_->lookup(dev_line_addr);
+    CachedPage *page = cache_.lookup(lpn);
+
+    if (page != nullptr || log_val.has_value()) {
+        LineValue value;
+        if (page != nullptr) {
+            page->touchedMask |= 1ULL << off;
+            value = log_val.value_or(page->data[off]);
+            stats_.readHitsCache++;
+        } else {
+            value = *log_val;
+            stats_.readHitsLog++;
+        }
+        const Tick t_data =
+            dram_.serviceAt(t_idx, kCachelineBytes, dev_line_addr);
+        const Tick t_resp = link_.deliverToHost(t_data, kCachelineBytes);
+        stats_.amatReads++;
+        stats_.protocolTicks += static_cast<double>(
+            (t_arr - when) + (t_resp - t_data));
+        stats_.indexingTicks += static_cast<double>(indexLatency());
+        stats_.ssdDramTicks += static_cast<double>(t_data - t_idx);
+        MemResponse resp;
+        resp.kind = MemResponseKind::Data;
+        resp.lineAddr = dev_line_addr;
+        resp.value = value;
+        eq_.schedule(t_resp, [cb = std::move(cb), resp] { cb(resp); });
+        return;
+    }
+
+    // R3: flash fetch needed.
+    stats_.readMisses++;
+    auto it = fetches_.find(lpn);
+    if (it != fetches_.end()) {
+        PendingFetch &pf = it->second;
+        const Tick remaining =
+            pf.expectedDone > t_idx ? pf.expectedDone - t_idx : 0;
+        if (cfg_.policy.deviceTriggeredCtxSwitch
+            && remaining > cfg_.policy.csThreshold) {
+            sendDelayHint(t_idx, cb);
+            return;
+        }
+        pf.prefetch = false;
+        pf.waiters.push_back({off, t_idx, std::move(cb)});
+        return;
+    }
+
+    const Tick est = ftl_.estimateReadDelay(lpn, t_idx);
+    const bool hint = shouldHint(lpn, t_idx, est);
+    startFetch(lpn, t_idx, false);
+
+    // Sequential next-page prefetch (Base-CSSD optimization [32],[62]),
+    // throttled so useless prefetches cannot saturate a busy channel.
+    if (cfg_.ssdCache.baseCssdPrefetch) {
+        const std::uint64_t next = lpn + 1;
+        if (cache_.probe(next) == nullptr && fetches_.count(next) == 0
+            && next * kPageBytes < cfg_.flash.totalBytes()
+            && ftl_.channelOf(next).pendingReads() < 2
+            && !ftl_.gcActiveFor(next)) {
+            stats_.prefetches++;
+            startFetch(next, t_idx, true);
+        }
+    }
+
+    if (hint) {
+        sendDelayHint(t_idx, cb);
+        return;
+    }
+    fetches_[lpn].waiters.push_back({off, t_idx, std::move(cb)});
+}
+
+SsdController::PendingFetch &
+SsdController::startFetch(std::uint64_t lpn, Tick t, bool prefetch)
+{
+    PendingFetch &pf = fetches_[lpn];
+    pf.startedAt = t;
+    pf.prefetch = prefetch;
+    pf.expectedDone = t + ftl_.estimateReadDelay(lpn, t);
+    ftl_.readPage(lpn, t, [this, lpn](Tick done) {
+        onPageArrived(lpn, done);
+    });
+    return pf;
+}
+
+void
+SsdController::mergeLogInto(std::uint64_t lpn, PageData &data)
+{
+    if (!logEnabled())
+        return;
+    for (std::uint32_t off = 0; off < kLinesPerPage; ++off) {
+        const Addr la = lpn * kPageBytes
+                        + static_cast<Addr>(off) * kCachelineBytes;
+        if (auto v = log_->lookup(la))
+            data[off] = *v;
+    }
+}
+
+void
+SsdController::handleEviction(const PageEvict &ev, Tick when)
+{
+    if (!ev.evicted)
+        return;
+    stats_.readLocality.record(
+        static_cast<double>(std::popcount(ev.touchedMask))
+        / kLinesPerPage);
+    if (ev.dirty && !logEnabled()) {
+        // Base-CSSD: write the whole dirty page back to flash.
+        stats_.dirtyEvictions++;
+        stats_.writeLocality.record(
+            static_cast<double>(std::popcount(ev.dirtyMask))
+            / kLinesPerPage);
+        ftl_.writePage(ev.lpn, when, ev.data, nullptr);
+    }
+}
+
+void
+SsdController::respondLine(const Waiter &w, std::uint64_t lpn, Tick t_page,
+                           const PageData &data)
+{
+    const Addr line_addr = lpn * kPageBytes
+                           + static_cast<Addr>(w.lineOff) * kCachelineBytes;
+    const Tick t_data = dram_.serviceAt(t_page, kCachelineBytes, line_addr);
+    const Tick t_resp = link_.deliverToHost(t_data, kCachelineBytes);
+    stats_.amatReads++;
+    stats_.protocolTicks +=
+        static_cast<double>(link_.protocolLatency() * 2);
+    stats_.indexingTicks += static_cast<double>(indexLatency());
+    stats_.ssdDramTicks += static_cast<double>(t_data - t_page);
+    stats_.flashTicks += static_cast<double>(
+        t_page > w.readyAt ? t_page - w.readyAt : 0);
+    MemResponse resp;
+    resp.kind = MemResponseKind::Data;
+    resp.lineAddr = line_addr;
+    resp.value = data[w.lineOff];
+    eq_.schedule(t_resp, [cb = w.cb, resp] { cb(resp); });
+}
+
+void
+SsdController::onPageArrived(std::uint64_t lpn, Tick done)
+{
+    auto node = fetches_.extract(lpn);
+    if (node.empty())
+        return;
+    PendingFetch &pf = node.mapped();
+
+    stats_.flashReadLatency.record(done - pf.startedAt);
+
+    PageData data = ftl_.pageData(lpn);
+    mergeLogInto(lpn, data);
+
+    // Install into the data cache (a 4 KB SSD DRAM write).
+    const Tick t_ins = dram_.serviceAt(done, kPageBytes, lpn * kPageBytes);
+    PageEvict ev = cache_.fill(lpn, data);
+    handleEviction(ev, t_ins);
+    CachedPage *page = cache_.lookup(lpn);
+
+    // Base-CSSD write-allocate: apply buffered line writes.
+    for (const auto &[off, value] : pf.pendingWrites) {
+        if (page != nullptr) {
+            page->data[off] = value;
+            page->dirty = true;
+            page->dirtyMask |= 1ULL << off;
+            page->touchedMask |= 1ULL << off;
+        }
+        ftl_.pageData(lpn)[off] = value;
+    }
+
+    for (const auto &w : pf.waiters) {
+        if (page != nullptr)
+            page->touchedMask |= 1ULL << w.lineOff;
+        respondLine(w, lpn, t_ins, data);
+        // The page is resident now, so hot-page promotion can trigger
+        // even for pages whose popularity was only visible via misses.
+        touchForPromotion(lpn, t_ins);
+    }
+    for (const auto &pw : pf.pageWaiters) {
+        const Tick t_data = dram_.serviceAt(t_ins, kPageBytes,
+                                            lpn * kPageBytes);
+        const Tick t_resp = link_.deliverToHost(t_data, kPageBytes);
+        eq_.schedule(t_resp, [cb = pw.cb, t_resp, data] {
+            cb(t_resp, data);
+        });
+    }
+}
+
+void
+SsdController::write(Addr dev_line_addr, LineValue value, Tick when)
+{
+    const std::uint64_t lpn = pageNumber(dev_line_addr);
+    const std::uint32_t off = lineInPage(dev_line_addr);
+    const Tick t_arr = link_.deliverToDevice(when, kCachelineBytes);
+    const Tick t_idx = t_arr + indexLatency();
+    stats_.writes++;
+    touchForPromotion(lpn, t_arr);
+
+    if (logEnabled()) {
+        // W1: append to the log; W2: parallel update of a cached copy;
+        // W3: index update (inside append).
+        log_->append(dev_line_addr, value);
+        dram_.serviceAt(t_idx, kCachelineBytes, dev_line_addr);
+        if (CachedPage *page = cache_.lookup(lpn)) {
+            page->data[off] = value;
+            page->touchedMask |= 1ULL << off;
+            // Not marked dirty: the log owns the dirty data.
+        }
+        maybeStartCompaction(t_idx);
+        return;
+    }
+
+    // Base-CSSD: page-granular write-allocate.
+    if (CachedPage *page = cache_.lookup(lpn)) {
+        page->data[off] = value;
+        page->dirty = true;
+        page->dirtyMask |= 1ULL << off;
+        page->touchedMask |= 1ULL << off;
+        dram_.serviceAt(t_idx, kCachelineBytes, dev_line_addr);
+        ftl_.pageData(lpn)[off] = value;
+        return;
+    }
+    auto it = fetches_.find(lpn);
+    if (it != fetches_.end()) {
+        it->second.pendingWrites.emplace_back(off, value);
+        return;
+    }
+    stats_.rmwFetches++;
+    startFetch(lpn, t_idx, false).pendingWrites.emplace_back(off, value);
+}
+
+void
+SsdController::maybeStartCompaction(Tick now)
+{
+    if (!logEnabled() || compacting_ || !log_->needCompaction())
+        return;
+
+    WriteLogBuffer &buf = log_->beginCompaction();
+    compacting_ = true;
+    compactStart_ = now;
+    stats_.compactionRuns++;
+
+    buf.forEachPage([this](std::uint64_t lpa, const LogPageTable &) {
+        compactJobs_[lpa % cfg_.flash.channels].push_back(lpa);
+    });
+
+    compactOutstanding_ = 0;
+    for (std::uint32_t ch = 0; ch < cfg_.flash.channels; ++ch) {
+        if (!compactJobs_[ch].empty()) {
+            compactOutstanding_++;
+            issueCompactionJob(ch, now);
+        }
+    }
+    if (compactOutstanding_ == 0) {
+        log_->finishCompaction();
+        compacting_ = false;
+    }
+}
+
+void
+SsdController::issueCompactionJob(std::uint32_t ch, Tick when)
+{
+    // One in-flight job per channel paces compaction so demand reads
+    // interleave with background programs (§III-B "background").
+    while (!compactJobs_[ch].empty()) {
+        const std::uint64_t lpa = compactJobs_[ch].front();
+        compactJobs_[ch].pop_front();
+
+        // Gather the logged lines from the DRAINING buffer; the page may
+        // have been migrated away mid-drain, in which case we skip it.
+        std::uint64_t mask = 0;
+        std::uint32_t dirty_lines = 0;
+        PageData merged{};
+        for (std::uint32_t off = 0; off < kLinesPerPage; ++off) {
+            if (auto v = log_->drainingValueAt(lpa, off)) {
+                merged[off] = *v;
+                mask |= 1ULL << off;
+                dirty_lines++;
+            }
+        }
+        if (dirty_lines == 0)
+            continue;
+        stats_.writeLocality.record(
+            static_cast<double>(dirty_lines) / kLinesPerPage);
+
+        if (CachedPage *page = cache_.lookup(lpa)) {
+            // L2: merge into the cached copy and flush it.
+            for (std::uint32_t off = 0; off < kLinesPerPage; ++off) {
+                if (mask & (1ULL << off))
+                    page->data[off] = merged[off];
+            }
+            stats_.compactionPagesFlushed++;
+            ftl_.writePage(lpa, when, page->data, [this, ch](Tick t) {
+                compactionJobDone(ch, t);
+            });
+            return;
+        }
+        if (dirty_lines == kLinesPerPage) {
+            // Fully covered: program directly, no flash read.
+            stats_.compactionPagesFlushed++;
+            ftl_.writePage(lpa, when, merged, [this, ch](Tick t) {
+                compactionJobDone(ch, t);
+            });
+            return;
+        }
+        // L3-L5: read into the coalescing buffer, merge, program.
+        stats_.compactionFlashReads++;
+        ftl_.readPage(lpa, when, [this, ch, lpa, mask, merged](Tick t) {
+            PageData full = ftl_.pageData(lpa);
+            for (std::uint32_t off = 0; off < kLinesPerPage; ++off) {
+                if (mask & (1ULL << off))
+                    full[off] = merged[off];
+            }
+            stats_.compactionPagesFlushed++;
+            ftl_.writePage(lpa, t, full, [this, ch](Tick t2) {
+                compactionJobDone(ch, t2);
+            });
+        });
+        return;
+    }
+    // Channel drained.
+    compactOutstanding_--;
+    if (compactOutstanding_ == 0) {
+        log_->finishCompaction();
+        compacting_ = false;
+        stats_.compactionTicksTotal += eq_.now() - compactStart_;
+        maybeStartCompaction(eq_.now()); // active may already be full
+    }
+    (void)when;
+}
+
+void
+SsdController::compactionJobDone(std::uint32_t ch, Tick done)
+{
+    issueCompactionJob(ch, done);
+}
+
+void
+SsdController::readPageToHost(std::uint64_t lpn, Tick when,
+                              std::function<void(Tick, const PageData &)>
+                                  cb)
+{
+    const Tick t_arr = link_.deliverToDevice(when, kHeaderBytes);
+    const Tick t_idx = t_arr + indexLatency();
+
+    if (CachedPage *page = cache_.lookup(lpn)) {
+        PageData data = page->data;
+        mergeLogInto(lpn, data);
+        const Tick t_data = dram_.serviceAt(t_idx, kPageBytes,
+                                            lpn * kPageBytes);
+        const Tick t_resp = link_.deliverToHost(t_data, kPageBytes);
+        eq_.schedule(t_resp,
+                     [cb = std::move(cb), t_resp, data] { cb(t_resp, data); });
+        return;
+    }
+    auto it = fetches_.find(lpn);
+    if (it != fetches_.end()) {
+        it->second.pageWaiters.push_back({t_idx, std::move(cb)});
+        return;
+    }
+    startFetch(lpn, t_idx, false).pageWaiters.push_back(
+        {t_idx, std::move(cb)});
+}
+
+void
+SsdController::writePageFromHost(std::uint64_t lpn, const PageData &data,
+                                 Tick when)
+{
+    const Tick t_arr = link_.deliverToDevice(when, kPageBytes);
+    if (CachedPage *page = cache_.lookup(lpn)) {
+        page->data = data;
+        page->dirty = false;
+        page->dirtyMask = 0;
+    }
+    if (logEnabled())
+        log_->invalidatePage(lpn);
+    stats_.writeLocality.record(1.0);
+    ftl_.writePage(lpn, t_arr, data, nullptr);
+}
+
+bool
+SsdController::isPageCached(std::uint64_t lpn) const
+{
+    return cache_.probe(lpn) != nullptr;
+}
+
+PageData
+SsdController::snapshotPage(std::uint64_t lpn)
+{
+    PageData data;
+    if (const CachedPage *page = cache_.probe(lpn))
+        data = page->data;
+    else
+        data = ftl_.pageData(lpn);
+    mergeLogInto(lpn, data);
+    return data;
+}
+
+void
+SsdController::dropMigratedPage(std::uint64_t lpn)
+{
+    cache_.invalidate(lpn);
+    if (logEnabled())
+        log_->invalidatePage(lpn);
+    accessCounts_.erase(lpn);
+}
+
+void
+SsdController::warmFill(std::uint64_t lpn)
+{
+    if (cache_.probe(lpn) != nullptr)
+        return;
+    cache_.fill(lpn, ftl_.pageData(lpn));
+}
+
+LineValue
+SsdController::peekLine(Addr dev_line_addr)
+{
+    if (logEnabled()) {
+        if (auto v = log_->lookup(dev_line_addr))
+            return *v;
+    }
+    if (const CachedPage *page = cache_.probe(pageNumber(dev_line_addr)))
+        return page->data[lineInPage(dev_line_addr)];
+    return ftl_.peekLine(dev_line_addr);
+}
+
+} // namespace skybyte

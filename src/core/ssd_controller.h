@@ -1,0 +1,213 @@
+/**
+ * @file
+ * The CXL-SSD controller (§III-B, Figure 11): serves CXL.mem reads and
+ * writes out of the SSD DRAM (write log + page-granular data cache),
+ * fetches pages from flash through the FTL on misses, decides when to
+ * send SkyByte-Delay hints (Algorithm 1), runs background log compaction
+ * (Figure 13), and exposes the page-granular interface used by
+ * AstriFlash and page migration.
+ *
+ * In Base-CSSD mode (write log disabled) it behaves like the
+ * state-of-the-art CXL-SSD of [32],[62]: page-granular caching with
+ * sequential prefetch, write-allocate read-modify-write on write misses,
+ * and dirty-page writebacks on eviction.
+ */
+
+#ifndef SKYBYTE_CORE_SSD_CONTROLLER_H
+#define SKYBYTE_CORE_SSD_CONTROLLER_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.h"
+#include "common/event_queue.h"
+#include "common/stats.h"
+#include "cpu/mem_backend.h"
+#include "core/page_cache.h"
+#include "core/write_log.h"
+#include "cxl/cxl.h"
+#include "mem/dram.h"
+#include "ssd/ftl.h"
+
+namespace skybyte {
+
+/** Controller statistics (feeds Figs 5/6, 16, 17, 18 and Table III). */
+struct SsdStats
+{
+    std::uint64_t readHitsLog = 0;
+    std::uint64_t readHitsCache = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t delayHintsSent = 0;
+    std::uint64_t rmwFetches = 0;     ///< Base-CSSD write-miss page fetches
+    std::uint64_t prefetches = 0;
+    std::uint64_t dirtyEvictions = 0; ///< Base-CSSD dirty page writebacks
+    std::uint64_t compactionPagesFlushed = 0;
+    std::uint64_t compactionFlashReads = 0;
+    Tick compactionTicksTotal = 0;
+    std::uint64_t compactionRuns = 0;
+    std::uint64_t pagePromotionsSignalled = 0;
+
+    /** AMAT component sums over completed demand reads (ticks). */
+    std::uint64_t amatReads = 0;
+    double protocolTicks = 0;
+    double indexingTicks = 0;
+    double ssdDramTicks = 0;
+    double flashTicks = 0;
+
+    /** Flash read latency observed by demand fetches (Table III). */
+    LatencyHistogram flashReadLatency;
+    /** Fraction of lines touched per page leaving the cache (Fig 5). */
+    RatioHistogram readLocality;
+    /** Fraction of dirty lines per page programmed to flash (Fig 6). */
+    RatioHistogram writeLocality;
+};
+
+/**
+ * The memory-semantic SSD device.
+ */
+class SsdController
+{
+  public:
+    SsdController(const SimConfig &cfg, EventQueue &eq, CxlLink &link);
+
+    /**
+     * CXL.mem MemRd for a device-relative line address, sent by the host
+     * at @p when. @p cb fires host-side with Data or DelayHint.
+     */
+    void read(Addr dev_line_addr, Tick when, MemCallback cb);
+
+    /** CXL.mem MemWr (posted) for a device-relative line address. */
+    void write(Addr dev_line_addr, LineValue value, Tick when);
+
+    /** Page-granular host read (AstriFlash / migration copies). */
+    void readPageToHost(std::uint64_t lpn, Tick when,
+                        std::function<void(Tick, const PageData &)> cb);
+
+    /** Page-granular host write (AstriFlash eviction / demotion). */
+    void writePageFromHost(std::uint64_t lpn, const PageData &data,
+                           Tick when);
+
+    /** Is @p lpn resident in the data cache (migration precondition)? */
+    bool isPageCached(std::uint64_t lpn) const;
+
+    /** Merged functional view of a page (cache/flash + log overlay). */
+    PageData snapshotPage(std::uint64_t lpn);
+
+    /** Migration completed: drop the page from SSD DRAM (§III-C). */
+    void dropMigratedPage(std::uint64_t lpn);
+
+    /**
+     * Hook invoked when a cached page crosses the hot threshold
+     * (§III-C). Returns true if the migration engine accepted the page;
+     * on rejection (PLB full, budget full) the counter stays eligible
+     * so a later access can retry.
+     */
+    void
+    setHotPageHook(std::function<bool(std::uint64_t, Tick)> hook)
+    {
+        hotPageHook_ = std::move(hook);
+    }
+
+    /** Functional single-line peek through log, cache, then flash. */
+    LineValue peekLine(Addr dev_line_addr);
+
+    /**
+     * Boot-time warm fill of the data cache (no timing, no flash ops):
+     * used by the warmup pass the paper applies before measurement.
+     */
+    void warmFill(std::uint64_t lpn);
+
+    Ftl &ftl() { return ftl_; }
+    const Ftl &ftlc() const { return ftl_; }
+    PageCache &cache() { return cache_; }
+    WriteLog *writeLog() { return log_.get(); }
+    const SsdStats &stats() const { return stats_; }
+    DramModel &dram() { return dram_; }
+
+  private:
+    struct Waiter
+    {
+        std::uint32_t lineOff = 0;
+        Tick readyAt = 0; ///< time the request finished indexing
+        MemCallback cb;
+    };
+
+    struct PageWaiter
+    {
+        Tick readyAt = 0;
+        std::function<void(Tick, const PageData &)> cb;
+    };
+
+    struct PendingFetch
+    {
+        Tick expectedDone = 0;
+        Tick startedAt = 0;
+        bool prefetch = false;
+        std::vector<Waiter> waiters;
+        std::vector<PageWaiter> pageWaiters;
+        /** Base-CSSD write-allocate lines waiting for the page. */
+        std::vector<std::pair<std::uint32_t, LineValue>> pendingWrites;
+    };
+
+    bool logEnabled() const { return log_ != nullptr; }
+    Tick indexLatency() const;
+
+    /** Start (or join) the flash fetch of @p lpn at device time @p t. */
+    PendingFetch &startFetch(std::uint64_t lpn, Tick t, bool prefetch);
+
+    void onPageArrived(std::uint64_t lpn, Tick done);
+
+    /** Apply log overlay onto @p data for page @p lpn. */
+    void mergeLogInto(std::uint64_t lpn, PageData &data);
+
+    /** Handle a page evicted from the data cache. */
+    void handleEviction(const PageEvict &ev, Tick when);
+
+    /** Respond with data to one line waiter. */
+    void respondLine(const Waiter &w, std::uint64_t lpn, Tick t_page,
+                     const PageData &data);
+
+    /** Send the SkyByte-Delay NDR back to the host. */
+    void sendDelayHint(Tick t, const MemCallback &cb);
+
+    /** Count an access for hot-page tracking. */
+    void touchForPromotion(std::uint64_t lpn, Tick now);
+
+    /** Algorithm 1 + GC check: should this miss trigger a switch? */
+    bool shouldHint(std::uint64_t lpn, Tick now, Tick est) const;
+
+    void maybeStartCompaction(Tick now);
+    void issueCompactionJob(std::uint32_t ch, Tick when);
+    void compactionJobDone(std::uint32_t ch, Tick done);
+
+    const SimConfig &cfg_;
+    EventQueue &eq_;
+    CxlLink &link_;
+    DramModel dram_;
+    Ftl ftl_;
+    PageCache cache_;
+    std::unique_ptr<WriteLog> log_;
+    std::unordered_map<std::uint64_t, PendingFetch> fetches_;
+    std::function<bool(std::uint64_t, Tick)> hotPageHook_;
+    std::unordered_map<std::uint64_t, std::uint32_t> accessCounts_;
+
+    /** Compaction state: per-channel pending page jobs. */
+    std::vector<std::deque<std::uint64_t>> compactJobs_;
+    std::uint32_t compactOutstanding_ = 0;
+    Tick compactStart_ = 0;
+    bool compacting_ = false;
+
+    SsdStats stats_;
+
+    /** Request/response header payload sizes on the link (bytes). */
+    static constexpr std::uint32_t kHeaderBytes = 16;
+};
+
+} // namespace skybyte
+
+#endif // SKYBYTE_CORE_SSD_CONTROLLER_H

@@ -1,0 +1,196 @@
+#include "core/write_log.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace skybyte {
+
+LogPageTable::LogPageTable(std::uint32_t initial_entries, double max_load)
+    : maxLoad_(max_load)
+{
+    std::uint32_t cap = 1;
+    while (cap < std::max(initial_entries, 1u))
+        cap <<= 1;
+    slots_.assign(cap, kEmpty);
+}
+
+void
+LogPageTable::grow()
+{
+    std::vector<std::uint32_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kEmpty);
+    count_ = 0;
+    for (std::uint32_t packed : old) {
+        if (packed != kEmpty)
+            put(packed >> 26, packed & kLogOffMask);
+    }
+}
+
+void
+LogPageTable::put(std::uint32_t line_off, std::uint32_t log_off)
+{
+    assert(line_off < kLinesPerPage);
+    const std::uint32_t mask = capacity() - 1;
+    std::uint32_t idx = (line_off * 0x9e37u) & mask;
+    for (;;) {
+        std::uint32_t &slot = slots_[idx];
+        if (slot == kEmpty) {
+            slot = (line_off << 26) | (log_off & kLogOffMask);
+            count_++;
+            if (static_cast<double>(count_)
+                > maxLoad_ * static_cast<double>(capacity())) {
+                grow();
+            }
+            return;
+        }
+        if ((slot >> 26) == line_off) {
+            slot = (line_off << 26) | (log_off & kLogOffMask);
+            return;
+        }
+        idx = (idx + 1) & mask;
+    }
+}
+
+std::optional<std::uint32_t>
+LogPageTable::get(std::uint32_t line_off) const
+{
+    const std::uint32_t mask = capacity() - 1;
+    std::uint32_t idx = (line_off * 0x9e37u) & mask;
+    for (std::uint32_t probes = 0; probes <= mask; ++probes) {
+        const std::uint32_t slot = slots_[idx];
+        if (slot == kEmpty)
+            return std::nullopt;
+        if ((slot >> 26) == line_off)
+            return slot & kLogOffMask;
+        idx = (idx + 1) & mask;
+    }
+    return std::nullopt;
+}
+
+WriteLogBuffer::WriteLogBuffer(std::uint64_t capacity_bytes,
+                               std::uint32_t initial_entries,
+                               double max_load)
+    : capacityEntries_(std::max<std::uint64_t>(
+          capacity_bytes / kCachelineBytes, 4)),
+      initialEntries_(initial_entries), maxLoad_(max_load)
+{}
+
+bool
+WriteLogBuffer::append(Addr line_addr, LineValue value)
+{
+    const std::uint64_t lpa = pageNumber(line_addr);
+    const std::uint32_t off = lineInPage(line_addr);
+    const auto log_off = static_cast<std::uint32_t>(entries_.size());
+    entries_.push_back({line_addr, value});
+    auto [it, inserted] = index_.try_emplace(
+        lpa, LogPageTable{initialEntries_, maxLoad_});
+    const bool superseded = !inserted && it->second.get(off).has_value();
+    it->second.put(off, log_off);
+    return superseded;
+}
+
+std::optional<LineValue>
+WriteLogBuffer::lookup(Addr line_addr) const
+{
+    return valueAt(pageNumber(line_addr), lineInPage(line_addr));
+}
+
+std::optional<LineValue>
+WriteLogBuffer::valueAt(std::uint64_t lpa, std::uint32_t line_off) const
+{
+    auto it = index_.find(lpa);
+    if (it == index_.end())
+        return std::nullopt;
+    auto log_off = it->second.get(line_off);
+    if (!log_off)
+        return std::nullopt;
+    return entries_[*log_off].value;
+}
+
+std::uint32_t
+WriteLogBuffer::invalidatePage(std::uint64_t lpa)
+{
+    auto it = index_.find(lpa);
+    if (it == index_.end())
+        return 0;
+    const std::uint32_t dropped = it->second.count();
+    index_.erase(it);
+    return dropped;
+}
+
+std::uint64_t
+WriteLogBuffer::indexBytes() const
+{
+    // 16 B per first-level entry + 4 B per allocated second-level slot.
+    std::uint64_t bytes = index_.size() * 16;
+    for (const auto &[lpa, table] : index_)
+        bytes += static_cast<std::uint64_t>(table.capacity()) * 4;
+    return bytes;
+}
+
+void
+WriteLogBuffer::clear()
+{
+    entries_.clear();
+    index_.clear();
+}
+
+WriteLog::WriteLog(std::uint64_t capacity_bytes,
+                   std::uint32_t initial_entries, double max_load)
+    : active_(capacity_bytes, initial_entries, max_load),
+      standby_(capacity_bytes, initial_entries, max_load)
+{}
+
+void
+WriteLog::append(Addr line_addr, LineValue value)
+{
+    if (active_.full())
+        stats_.overflowAppends++;
+    if (active_.append(line_addr, value))
+        stats_.updateHits++;
+    stats_.appends++;
+    stats_.indexBytesPeak = std::max(stats_.indexBytesPeak, indexBytes());
+}
+
+std::optional<LineValue>
+WriteLog::lookup(Addr line_addr)
+{
+    if (auto v = active_.lookup(line_addr)) {
+        stats_.lookupHits++;
+        return v;
+    }
+    if (drainInProgress_) {
+        if (auto v = standby_.lookup(line_addr)) {
+            stats_.lookupHits++;
+            return v;
+        }
+    }
+    return std::nullopt;
+}
+
+WriteLogBuffer &
+WriteLog::beginCompaction()
+{
+    assert(!drainInProgress_);
+    std::swap(active_, standby_);
+    drainInProgress_ = true;
+    stats_.compactions++;
+    return standby_;
+}
+
+void
+WriteLog::finishCompaction()
+{
+    standby_.clear();
+    drainInProgress_ = false;
+}
+
+void
+WriteLog::invalidatePage(std::uint64_t lpa)
+{
+    stats_.invalidatedLines += active_.invalidatePage(lpa);
+    if (drainInProgress_)
+        stats_.invalidatedLines += standby_.invalidatePage(lpa);
+}
+
+} // namespace skybyte

@@ -1,0 +1,155 @@
+#include "cpu/cache.h"
+
+#include <algorithm>
+
+namespace skybyte {
+
+SetAssocCache::SetAssocCache(std::uint64_t size_bytes, std::uint32_t ways)
+{
+    ways_ = std::max<std::uint32_t>(ways, 1);
+    std::uint64_t lines = std::max<std::uint64_t>(
+        size_bytes / kCachelineBytes, ways_);
+    std::uint64_t sets = lines / ways_;
+    // Round sets down to a power of two for cheap indexing.
+    std::uint32_t pow2 = 1;
+    while (static_cast<std::uint64_t>(pow2) * 2 <= sets)
+        pow2 *= 2;
+    numSets_ = pow2;
+    ways2d_.assign(static_cast<std::size_t>(numSets_) * ways_, Way{});
+}
+
+std::uint32_t
+SetAssocCache::setOf(Addr line_addr) const
+{
+    // Mix upper bits so large-stride patterns spread across sets.
+    std::uint64_t x = line_addr / kCachelineBytes;
+    x ^= x >> 17;
+    x *= 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 29;
+    return static_cast<std::uint32_t>(x & (numSets_ - 1));
+}
+
+bool
+SetAssocCache::access(Addr line_addr, bool is_write, LineValue write_value,
+                      LineValue *read_out)
+{
+    const Addr tag = line_addr / kCachelineBytes;
+    Way *set = &ways2d_[static_cast<std::size_t>(setOf(line_addr)) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lru = ++lruClock_;
+            if (is_write) {
+                set[w].dirty = true;
+                set[w].value = write_value;
+            } else if (read_out != nullptr) {
+                *read_out = set[w].value;
+            }
+            hits_++;
+            return true;
+        }
+    }
+    misses_++;
+    return false;
+}
+
+bool
+SetAssocCache::probe(Addr line_addr) const
+{
+    const Addr tag = line_addr / kCachelineBytes;
+    const Way *set =
+        &ways2d_[static_cast<std::size_t>(setOf(line_addr)) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+CacheResult
+SetAssocCache::fill(Addr line_addr, bool dirty, LineValue value)
+{
+    CacheResult res;
+    const Addr tag = line_addr / kCachelineBytes;
+    Way *set = &ways2d_[static_cast<std::size_t>(setOf(line_addr)) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            // Already present (e.g., racing fills after coalescing).
+            set[w].lru = ++lruClock_;
+            if (dirty) {
+                set[w].dirty = true;
+                set[w].value = value;
+            }
+            res.hit = true;
+            return res;
+        }
+    }
+    // Prefer an invalid way; otherwise evict true-LRU.
+    Way *victim = nullptr;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (victim == nullptr || set[w].lru < victim->lru)
+            victim = &set[w];
+    }
+    if (victim->valid && victim->dirty) {
+        res.writeback = true;
+        res.victimAddr = victim->tag * kCachelineBytes;
+        res.victimValue = victim->value;
+        writebacks_++;
+    }
+    victim->tag = tag;
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->lru = ++lruClock_;
+    victim->value = value;
+    return res;
+}
+
+bool
+SetAssocCache::invalidate(Addr line_addr, bool *was_dirty)
+{
+    const Addr tag = line_addr / kCachelineBytes;
+    Way *set = &ways2d_[static_cast<std::size_t>(setOf(line_addr)) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            if (was_dirty != nullptr)
+                *was_dirty = set[w].dirty;
+            set[w].valid = false;
+            set[w].dirty = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SetAssocCache::clear()
+{
+    std::fill(ways2d_.begin(), ways2d_.end(), Way{});
+    lruClock_ = 0;
+}
+
+bool
+MshrFile::contains(Addr line_addr) const
+{
+    return inFlight_.count(line_addr) != 0;
+}
+
+bool
+MshrFile::allocate(Addr line_addr)
+{
+    if (full() || contains(line_addr))
+        return false;
+    inFlight_.insert(line_addr);
+    return true;
+}
+
+void
+MshrFile::release(Addr line_addr)
+{
+    inFlight_.erase(line_addr);
+}
+
+} // namespace skybyte

@@ -1,0 +1,341 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+
+namespace skybyte {
+
+Core::Core(int core_id, const CpuConfig &cfg, const PolicyConfig &policy,
+           EventQueue &eq, Uncore &uncore)
+    : coreId_(core_id), cfg_(cfg), policy_(policy), eq_(eq),
+      uncore_(uncore), l1_(cfg.l1d), l2_(cfg.l2), l1Mshrs_(cfg.l1d.mshrs)
+{
+    uncore.addCore(this);
+}
+
+void
+Core::assignThread(ThreadContext *thread, Tick now)
+{
+    if (state_ != State::Idle || thread == nullptr)
+        return;
+    if (now > idleSince_)
+        stats_.idleTicks += now - idleSince_;
+    cursor_ = std::max(cursor_, now);
+    thread_ = thread;
+    state_ = State::Running;
+    scheduleRun(cursor_);
+}
+
+void
+Core::scheduleRun(Tick when)
+{
+    if (runScheduled_)
+        return;
+    runScheduled_ = true;
+    eq_.schedule(when, [this] {
+        runScheduled_ = false;
+        if (state_ != State::Running)
+            return;
+        cursor_ = std::max(cursor_, eq_.now());
+        runLoop();
+    });
+}
+
+Tick
+Core::headCompleteAt() const
+{
+    const RobEntry &head = rob_.front();
+    if (head.miss != nullptr)
+        return head.miss->done ? head.miss->doneAt : kTickMax;
+    return head.completeAt;
+}
+
+void
+Core::retire()
+{
+    while (!rob_.empty() && headCompleteAt() <= cursor_) {
+        stats_.committedInstructions += rob_.front().slots;
+        robSlotsUsed_ -= rob_.front().slots;
+        rob_.pop_front();
+    }
+}
+
+void
+Core::fillLocal(Addr line, Tick now)
+{
+    // Fill L2 first so the L1 victim (if dirty) lands behind it in LRU.
+    CacheResult r2 = l2_.fill(line, false);
+    if (r2.writeback)
+        uncore_.writebackToL3(r2.victimAddr, r2.victimValue, now);
+    CacheResult r1 = l1_.fill(line, false);
+    if (r1.writeback) {
+        CacheResult cascade = l2_.fill(r1.victimAddr, true, r1.victimValue);
+        if (cascade.writeback) {
+            uncore_.writebackToL3(cascade.victimAddr, cascade.victimValue,
+                                  now);
+        }
+    }
+}
+
+bool
+Core::issueMem(const TraceRecord &rec, Tick t, RobEntry &entry)
+{
+    const Addr line = lineAlign(rec.vaddr);
+
+    if (rec.isWrite) {
+        // Trace-driven stores allocate without a demand fetch (no RFO);
+        // the dirty data reaches the SSD via LLC writebacks, matching the
+        // paper's accounting where CXL-SSD writes never stall or hint.
+        const LineValue v = thread_->nextStoreValue();
+        if (!l1_.access(line, true, v)) {
+            CacheResult r1 = l1_.fill(line, true, v);
+            if (r1.writeback) {
+                CacheResult c =
+                    l2_.fill(r1.victimAddr, true, r1.victimValue);
+                if (c.writeback) {
+                    uncore_.writebackToL3(c.victimAddr, c.victimValue, t);
+                }
+            }
+        }
+        entry.completeAt = t + cfg_.l1d.hitLatency;
+        return true;
+    }
+
+    if (l1_.access(line, false)) {
+        entry.completeAt = t + cfg_.l1d.hitLatency;
+        return true;
+    }
+    if (l2_.access(line, false)) {
+        CacheResult r1 = l1_.fill(line, false);
+        if (r1.writeback) {
+            CacheResult c = l2_.fill(r1.victimAddr, true, r1.victimValue);
+            if (c.writeback)
+                uncore_.writebackToL3(c.victimAddr, c.victimValue, t);
+        }
+        entry.completeAt = t + cfg_.l2.hitLatency;
+        return true;
+    }
+
+    // LLC-bound. Reserve an L1 MSHR unless this line coalesces onto an
+    // in-flight one.
+    const bool coalesced = l1Mshrs_.contains(line);
+    if (!coalesced && l1Mshrs_.full())
+        return false;
+
+    auto status = std::make_shared<MissStatus>();
+    status->lineAddr = line;
+    status->owner = this;
+    status->issuedAt = t;
+
+    switch (uncore_.load(status, t)) {
+      case UncoreLoadResult::HitL3:
+        fillLocal(line, t);
+        entry.completeAt = t + cfg_.llc.hitLatency;
+        return true;
+      case UncoreLoadResult::Pending:
+        if (!coalesced) {
+            l1Mshrs_.allocate(line);
+            status->l1MshrHeld = true;
+        }
+        entry.miss = std::move(status);
+        entry.completeAt = kTickMax;
+        return true;
+      case UncoreLoadResult::MshrBlocked:
+        return false;
+    }
+    return false;
+}
+
+void
+Core::runLoop()
+{
+    const Tick quantum_end = eq_.now() + kQuantumTicks;
+    while (true) {
+        retire();
+
+        if (pendingPenalty_ > 0) {
+            stats_.memStallTicks += pendingPenalty_;
+            cursor_ += pendingPenalty_;
+            pendingPenalty_ = 0;
+        }
+
+        if (!hasPendingRec_) {
+            if (!thread_->fetch(pendingRec_)) {
+                // Trace exhausted: drain the ROB, then finish.
+                if (rob_.empty()) {
+                    threadDone();
+                    return;
+                }
+                if (!waitOnHead(quantum_end))
+                    return;
+                continue;
+            }
+            hasPendingRec_ = true;
+        }
+
+        const std::uint32_t slots = pendingRec_.computeOps + 1;
+        if (!rob_.empty()
+            && robSlotsUsed_ + slots > cfg_.robEntries) {
+            if (!waitOnHead(quantum_end))
+                return;
+            continue;
+        }
+
+        const Tick issue_end = cursor_ + slots;
+        RobEntry entry;
+        entry.slots = slots;
+        entry.rec = pendingRec_;
+        if (!issueMem(pendingRec_, issue_end, entry)) {
+            stats_.mshrBlockedStalls++;
+            state_ = State::StalledMshr;
+            return; // woken by onMshrFree / own completions
+        }
+        rob_.push_back(std::move(entry));
+        robSlotsUsed_ += slots;
+        stats_.issuedInstructions += slots;
+        stats_.computeTicks += slots;
+        thread_->addVruntime(slots);
+        cursor_ = issue_end;
+        hasPendingRec_ = false;
+
+        if (cursor_ >= quantum_end) {
+            scheduleRun(cursor_);
+            return;
+        }
+    }
+}
+
+bool
+Core::waitOnHead(Tick quantum_end)
+{
+    const Tick t = headCompleteAt();
+    if (t == kTickMax) {
+        const RobEntry &head = rob_.front();
+        if (head.miss->hinted && policy_.deviceTriggeredCtxSwitch) {
+            doContextSwitch();
+            return false;
+        }
+        state_ = State::StalledMem;
+        return false; // woken by onMissData / onMissHint
+    }
+    stats_.memStallTicks += t - cursor_;
+    cursor_ = t;
+    if (cursor_ >= quantum_end) {
+        scheduleRun(cursor_);
+        return false;
+    }
+    return true;
+}
+
+void
+Core::squashToReplay()
+{
+    std::deque<TraceRecord> recs;
+    for (auto &entry : rob_) {
+        recs.push_back(entry.rec);
+        stats_.squashedRecords++;
+        if (entry.miss != nullptr && !entry.miss->done) {
+            entry.miss->orphaned = true;
+            if (cfg_.freeMshrOnSquash && entry.miss->l1MshrHeld) {
+                l1Mshrs_.release(entry.miss->lineAddr);
+                entry.miss->l1MshrHeld = false;
+            }
+        }
+    }
+    if (hasPendingRec_) {
+        recs.push_back(pendingRec_);
+        hasPendingRec_ = false;
+    }
+    thread_->unfetch(recs);
+    rob_.clear();
+    robSlotsUsed_ = 0;
+}
+
+void
+Core::doContextSwitch()
+{
+    stats_.contextSwitches++;
+    squashToReplay();
+    ThreadContext *next = scheduler_->pickNext(coreId_, thread_, cursor_);
+    stats_.ctxSwitchTicks += policy_.ctxSwitchOverhead;
+    cursor_ += policy_.ctxSwitchOverhead;
+    thread_ = next;
+    if (thread_ == nullptr) {
+        enterIdle();
+        return;
+    }
+    state_ = State::Running;
+    scheduleRun(cursor_);
+}
+
+void
+Core::threadDone()
+{
+    thread_->markFinished();
+    thread_->setFinishTime(cursor_);
+    scheduler_->threadFinished(thread_, cursor_);
+    ThreadContext *next = scheduler_->pickNext(coreId_, nullptr, cursor_);
+    if (next == nullptr) {
+        enterIdle();
+        return;
+    }
+    thread_ = next;
+    stats_.ctxSwitchTicks += policy_.ctxSwitchOverhead;
+    cursor_ += policy_.ctxSwitchOverhead;
+    state_ = State::Running;
+    scheduleRun(cursor_);
+}
+
+void
+Core::enterIdle()
+{
+    state_ = State::Idle;
+    thread_ = nullptr;
+    idleSince_ = cursor_;
+}
+
+void
+Core::wake(Tick now)
+{
+    if (now > cursor_) {
+        stats_.memStallTicks += now - cursor_;
+        cursor_ = now;
+    }
+    state_ = State::Running;
+    runLoop();
+}
+
+void
+Core::onMissData(const std::shared_ptr<MissStatus> &status, Tick now)
+{
+    status->done = true;
+    status->doneAt = now;
+    if (status->l1MshrHeld) {
+        l1Mshrs_.release(status->lineAddr);
+        status->l1MshrHeld = false;
+    }
+    if (!status->orphaned)
+        fillLocal(status->lineAddr, now);
+    if (state_ == State::StalledMem || state_ == State::StalledMshr)
+        wake(now);
+}
+
+void
+Core::onMissHint(const std::shared_ptr<MissStatus> &status, Tick now)
+{
+    status->hinted = true;
+    if (status->l1MshrHeld) {
+        l1Mshrs_.release(status->lineAddr);
+        status->l1MshrHeld = false;
+    }
+    if (state_ == State::StalledMem || state_ == State::StalledMshr)
+        wake(now);
+}
+
+void
+Core::onMshrFree(Tick now)
+{
+    if (state_ == State::StalledMshr)
+        wake(now);
+}
+
+} // namespace skybyte

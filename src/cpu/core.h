@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Trace-driven core model (Table II: 4-wide, 256-entry ROB, private
+ * L1D/L2, 4 GHz).
+ *
+ * The core consumes TraceRecords ("k compute ops + 1 memory op"), issuing
+ * one instruction per tick (4-wide at 4 GHz) into a ROB window. Memory
+ * ops probe L1/L2 functionally; LLC-bound loads go to the Uncore and
+ * complete via callback. The core stalls when the ROB head is incomplete
+ * and the window is full; stall time is attributed to memory-boundedness
+ * exactly as the paper's VTune-style definition (Fig 4).
+ *
+ * Coordinated context switches (§III-A): when a blocking ROB head carries
+ * a SkyByte-Delay hint, the core raises the Long Delay Exception, squashes
+ * un-retired records into the thread's replay buffer, optionally frees its
+ * L1 MSHRs, charges the OS switch overhead and asks the scheduler for the
+ * next thread.
+ */
+
+#ifndef SKYBYTE_CPU_CORE_H
+#define SKYBYTE_CPU_CORE_H
+
+#include <deque>
+#include <memory>
+
+#include "common/config.h"
+#include "common/event_queue.h"
+#include "cpu/cache.h"
+#include "cpu/thread.h"
+#include "cpu/uncore.h"
+
+namespace skybyte {
+
+/** Per-core timing and event statistics. */
+struct CoreStats
+{
+    Tick computeTicks = 0;
+    Tick memStallTicks = 0;
+    Tick ctxSwitchTicks = 0;
+    Tick idleTicks = 0;
+    std::uint64_t committedInstructions = 0;
+    std::uint64_t issuedInstructions = 0;
+    std::uint64_t contextSwitches = 0;
+    std::uint64_t squashedRecords = 0;
+    std::uint64_t mshrBlockedStalls = 0;
+};
+
+/**
+ * One CPU core.
+ */
+class Core
+{
+  public:
+    Core(int core_id, const CpuConfig &cfg, const PolicyConfig &policy,
+         EventQueue &eq, Uncore &uncore);
+
+    int id() const { return coreId_; }
+
+    /** The OS must be attached before any thread runs. */
+    void setScheduler(Scheduler *sched) { scheduler_ = sched; }
+
+    /** Assign a thread and (if idle) start executing it at @p now. */
+    void assignThread(ThreadContext *thread, Tick now);
+
+    bool idle() const { return state_ == State::Idle; }
+    ThreadContext *currentThread() const { return thread_; }
+
+    /** Uncore callbacks. @{ */
+    void onMissData(const std::shared_ptr<MissStatus> &status, Tick now);
+    void onMissHint(const std::shared_ptr<MissStatus> &status, Tick now);
+    void onMshrFree(Tick now);
+    /** @} */
+
+    /**
+     * Charge a one-off pipeline penalty (e.g., TLB shootdown when a page
+     * migration completes, §V). Applied before the next instruction.
+     */
+    void addPenalty(Tick ticks) { pendingPenalty_ += ticks; }
+
+    const CoreStats &stats() const { return stats_; }
+    const SetAssocCache &l1() const { return l1_; }
+    const SetAssocCache &l2() const { return l2_; }
+
+  private:
+    enum class State { Idle, Running, StalledMem, StalledMshr, Switching };
+
+    struct RobEntry
+    {
+        std::uint32_t slots = 0;
+        Tick completeAt = 0; ///< kTickMax while a miss is pending
+        std::shared_ptr<MissStatus> miss;
+        TraceRecord rec;
+    };
+
+    /** Main execution loop; runs until stalled or quantum expires. */
+    void runLoop();
+
+    /** Resume from a stall at @p now, accounting the stalled interval. */
+    void wake(Tick now);
+
+    /** Retire all completed head entries at local time cursor_. */
+    void retire();
+
+    /**
+     * Handle a blocking ROB head: context switch on a hinted miss, sleep
+     * on a pending one, or advance time to a known completion.
+     * @retval true to keep executing in the current loop iteration.
+     */
+    bool waitOnHead(Tick quantum_end);
+
+    Tick headCompleteAt() const;
+
+    /**
+     * Issue the memory op of @p rec at time @p t.
+     * @retval false if blocked on an MSHR (record stays pending).
+     */
+    bool issueMem(const TraceRecord &rec, Tick t, RobEntry &entry);
+
+    /** Fill @p line into L1/L2, cascading dirty victims downwards. */
+    void fillLocal(Addr line, Tick now);
+
+    /** Raise the Long Delay Exception and switch threads (§III-A C3). */
+    void doContextSwitch();
+
+    /** Move all un-retired records back to the thread (squash). */
+    void squashToReplay();
+
+    /** Current thread ended; pick another or go idle. */
+    void threadDone();
+
+    void scheduleRun(Tick when);
+    void enterIdle();
+
+    int coreId_;
+    const CpuConfig &cfg_;
+    const PolicyConfig &policy_;
+    EventQueue &eq_;
+    Uncore &uncore_;
+    Scheduler *scheduler_ = nullptr;
+
+    SetAssocCache l1_;
+    SetAssocCache l2_;
+    MshrFile l1Mshrs_;
+
+    ThreadContext *thread_ = nullptr;
+    State state_ = State::Idle;
+    Tick cursor_ = 0;       ///< core-local time (>= last event time)
+    Tick idleSince_ = 0;
+    std::deque<RobEntry> rob_;
+    std::uint32_t robSlotsUsed_ = 0;
+    bool hasPendingRec_ = false;
+    TraceRecord pendingRec_{};
+    Tick pendingPenalty_ = 0;
+    bool runScheduled_ = false;
+
+    CoreStats stats_;
+
+    /** Causality quantum: max ticks to run ahead of the event queue. */
+    static constexpr Tick kQuantumTicks = 4096; // 256 ns
+};
+
+} // namespace skybyte
+
+#endif // SKYBYTE_CPU_CORE_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared uncore: the L3/LLC, its MSHR file with cross-core coalescing
+ * (§III-A C1 — one CXL.mem request may be associated with instructions
+ * from several cores), and the dispatch of LLC misses to the off-chip
+ * backend. Also records the off-chip latency distribution for Figure 3.
+ */
+
+#ifndef SKYBYTE_CPU_UNCORE_H
+#define SKYBYTE_CPU_UNCORE_H
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/stats.h"
+#include "cpu/cache.h"
+#include "cpu/mem_backend.h"
+
+namespace skybyte {
+
+class Core;
+
+/**
+ * Status of one in-flight load miss as seen by a core's ROB. Shared
+ * between the ROB entry and the uncore so a response (or SkyByte-Delay
+ * hint) can complete or mark the entry even after a squash.
+ */
+struct MissStatus
+{
+    Addr lineAddr = 0;
+    Core *owner = nullptr;
+    bool done = false;      ///< data arrived
+    bool hinted = false;    ///< SkyByte-Delay received (§III-A C2)
+    bool orphaned = false;  ///< squashed; nobody will retire it
+    bool l1MshrHeld = false;
+    Tick issuedAt = 0;
+    Tick doneAt = kTickMax;
+    LineValue value = 0; ///< functional payload of the data response
+};
+
+/** Result of presenting an LLC-bound load to the uncore. */
+enum class UncoreLoadResult
+{
+    HitL3,      ///< completes after the L3 hit latency
+    Pending,    ///< miss in flight; MissStatus will be completed
+    MshrBlocked ///< LLC MSHRs exhausted; retry after a release
+};
+
+/**
+ * The shared L3 + LLC MSHRs + backend port.
+ */
+class Uncore
+{
+  public:
+    Uncore(const CpuConfig &cfg, EventQueue &eq, MemoryBackend &backend);
+
+    /**
+     * Present a demand load that missed L1/L2 at time @p when.
+     * On Pending, @p status is registered and will receive done/hinted.
+     */
+    UncoreLoadResult load(const std::shared_ptr<MissStatus> &status,
+                          Tick when);
+
+    /** Dirty line evicted from a core's L2: fill into L3. */
+    void writebackToL3(Addr line_addr, LineValue value, Tick when);
+
+    /** Register a core for MSHR-free wakeups. */
+    void addCore(Core *core) { cores_.push_back(core); }
+
+    SetAssocCache &l3() { return l3_; }
+    const SetAssocCache &l3c() const { return l3_; }
+
+    std::uint64_t llcMisses() const { return llcMisses_; }
+    std::uint64_t llcCoalesced() const { return llcCoalesced_; }
+    std::uint64_t llcMshrBlocks() const { return llcMshrBlocks_; }
+
+    /** Off-chip (post-LLC) demand-load latency distribution (Fig 3). */
+    const LatencyHistogram &offchipLatency() const { return offchip_; }
+
+  private:
+    void onResponse(Addr line_addr, const MemResponse &resp);
+    void wakeBlockedCores();
+
+    EventQueue &eq_;
+    MemoryBackend &backend_;
+    SetAssocCache l3_;
+    MshrFile mshrs_;
+    std::unordered_map<Addr, std::vector<std::shared_ptr<MissStatus>>>
+        inFlight_;
+    std::vector<Core *> cores_;
+    LatencyHistogram offchip_;
+    std::uint64_t llcMisses_ = 0;
+    std::uint64_t llcCoalesced_ = 0;
+    std::uint64_t llcMshrBlocks_ = 0;
+};
+
+} // namespace skybyte
+
+#endif // SKYBYTE_CPU_UNCORE_H

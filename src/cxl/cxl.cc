@@ -1,0 +1,36 @@
+#include "cxl/cxl.h"
+
+#include <algorithm>
+
+namespace skybyte {
+
+CxlLink::CxlLink(EventQueue &eq, const CxlConfig &cfg)
+    : eq_(eq), protocolLatency_(cfg.protocolLatency),
+      bytesPerNs_(cfg.bytesPerNs)
+{}
+
+Tick
+CxlLink::transfer(Tick when, std::uint32_t bytes, Tick &dir_free)
+{
+    const Tick start = std::max(when, dir_free);
+    const auto xfer = static_cast<Tick>(
+        static_cast<double>(bytes) / bytesPerNs_
+        * static_cast<double>(kTicksPerNs));
+    dir_free = start + xfer;
+    bytes_ += bytes;
+    return start + xfer + protocolLatency_;
+}
+
+Tick
+CxlLink::deliverToDevice(Tick when, std::uint32_t bytes)
+{
+    return transfer(when, bytes, toDeviceFree_);
+}
+
+Tick
+CxlLink::deliverToHost(Tick when, std::uint32_t bytes)
+{
+    return transfer(when, bytes, toHostFree_);
+}
+
+} // namespace skybyte

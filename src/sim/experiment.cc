@@ -1,0 +1,81 @@
+#include "sim/experiment.h"
+
+#include <cstdlib>
+
+namespace skybyte {
+
+ExperimentOptions
+ExperimentOptions::fromEnv()
+{
+    ExperimentOptions opt;
+    if (const char *s = std::getenv("SKYBYTE_BENCH_INSTR"))
+        opt.instrPerThread = std::strtoull(s, nullptr, 10);
+    if (const char *s = std::getenv("SKYBYTE_BENCH_THREADS"))
+        opt.threadsOverride = static_cast<int>(std::strtol(s, nullptr, 10));
+    if (const char *s = std::getenv("SKYBYTE_BENCH_FOOTPRINT_MB")) {
+        opt.footprintBytes =
+            std::strtoull(s, nullptr, 10) * 1024ULL * 1024ULL;
+    }
+    return opt;
+}
+
+int
+defaultThreadsFor(const SimConfig &cfg, const ExperimentOptions &opt)
+{
+    if (opt.threadsOverride > 0)
+        return opt.threadsOverride;
+    // §VI-A: 24 threads on 8 cores with coordinated context switch
+    // enabled, 8 threads on 8 cores otherwise.
+    return cfg.policy.deviceTriggeredCtxSwitch ? cfg.cpu.numCores * 3
+                                               : cfg.cpu.numCores;
+}
+
+WorkloadParams
+makeParams(const SimConfig &cfg, const ExperimentOptions &opt)
+{
+    WorkloadParams params;
+    params.numThreads = defaultThreadsFor(cfg, opt);
+    // Fixed total problem size: all traces represent the same program
+    // section regardless of thread count (§VI-A), so per-thread work
+    // shrinks as threads grow. instrPerThread is defined at 8 threads.
+    const std::uint64_t total = opt.instrPerThread * 8;
+    params.instrPerThread =
+        total / static_cast<std::uint64_t>(params.numThreads);
+    params.footprintBytes = opt.footprintBytes;
+    params.seed = opt.seed;
+    return params;
+}
+
+void
+applyBenchScale(SimConfig &cfg)
+{
+    cfg.cpu.l1d.sizeBytes = 16 * 1024;
+    cfg.cpu.l2.sizeBytes = 128 * 1024;
+    cfg.cpu.llc.sizeBytes = 2 * 1024 * 1024;
+}
+
+SimConfig
+makeBenchConfig(const std::string &variant)
+{
+    SimConfig cfg = makeConfig(variant);
+    applyBenchScale(cfg);
+    return cfg;
+}
+
+SimResult
+runConfig(const SimConfig &cfg, const std::string &workload,
+          const ExperimentOptions &opt)
+{
+    return runSimulation(cfg, workload, makeParams(cfg, opt));
+}
+
+SimResult
+runVariant(const std::string &variant, const std::string &workload,
+           const ExperimentOptions &opt)
+{
+    SimConfig cfg = makeBenchConfig(variant);
+    cfg.seed = opt.seed;
+    return runConfig(cfg, workload, opt);
+}
+
+} // namespace skybyte

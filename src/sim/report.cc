@@ -1,0 +1,145 @@
+#include "sim/report.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace skybyte {
+
+namespace {
+
+void
+appendKv(std::ostringstream &os, const char *key, double value,
+         bool comma = true)
+{
+    os << "  \"" << key << "\": " << value;
+    if (comma)
+        os << ",";
+    os << "\n";
+}
+
+void
+appendKv(std::ostringstream &os, const char *key, std::uint64_t value,
+         bool comma = true)
+{
+    os << "  \"" << key << "\": " << value;
+    if (comma)
+        os << ",";
+    os << "\n";
+}
+
+void
+appendCdf(std::ostringstream &os, const char *key,
+          const std::vector<std::pair<double, double>> &points,
+          bool comma = true)
+{
+    os << "  \"" << key << "\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << "[" << points[i].first << ", " << points[i].second << "]";
+    }
+    os << "]";
+    if (comma)
+        os << ",";
+    os << "\n";
+}
+
+} // namespace
+
+void
+printSummary(const SimResult &res, std::ostream &out)
+{
+    out << "=== " << res.variant << " / " << res.workload << " ===\n"
+        << "exec_time_ms        " << res.execMs() << "\n"
+        << "instructions        " << res.committedInstructions << "\n"
+        << "ipc                 " << res.ipc() << "\n"
+        << "context_switches    " << res.contextSwitches << "\n"
+        << "llc_mpki            " << res.llcMpki() << "\n"
+        << "host_reads/writes   " << res.hostReads << " / "
+        << res.hostWrites << "\n"
+        << "ssd_read_hit/miss   " << res.ssdReadHits << " / "
+        << res.ssdReadMisses << "\n"
+        << "ssd_writes          " << res.ssdWrites << "\n"
+        << "flash_programs      " << res.flashHostPrograms << " (+"
+        << res.flashGcPrograms << " gc)\n"
+        << "compactions         " << res.compactions << "\n"
+        << "gc_runs             " << res.gcRuns << "\n"
+        << "promotions          " << res.promotions << "\n"
+        << "amat_ns             "
+        << ticksToNs(static_cast<Tick>(res.amatTotalTicks)) << "\n"
+        << "cxl_bandwidth_gbps  " << res.cxlBandwidthGbps() << "\n";
+}
+
+std::string
+toJson(const SimResult &res)
+{
+    std::ostringstream os;
+    os << std::setprecision(12);
+    os << "{\n";
+    os << "  \"variant\": \"" << res.variant << "\",\n";
+    os << "  \"workload\": \"" << res.workload << "\",\n";
+    os << "  \"timed_out\": " << (res.timedOut ? "true" : "false")
+       << ",\n";
+    appendKv(os, "exec_time_ticks", res.execTime);
+    appendKv(os, "exec_time_ms", res.execMs());
+    appendKv(os, "committed_instructions", res.committedInstructions);
+    appendKv(os, "ipc", res.ipc());
+    appendKv(os, "compute_ticks", res.computeTicks);
+    appendKv(os, "mem_stall_ticks", res.memStallTicks);
+    appendKv(os, "ctx_switch_ticks", res.ctxSwitchTicks);
+    appendKv(os, "idle_ticks", res.idleTicks);
+    appendKv(os, "context_switches", res.contextSwitches);
+    appendKv(os, "host_reads", res.hostReads);
+    appendKv(os, "host_writes", res.hostWrites);
+    appendKv(os, "ssd_read_hits", res.ssdReadHits);
+    appendKv(os, "ssd_read_misses", res.ssdReadMisses);
+    appendKv(os, "ssd_writes", res.ssdWrites);
+    appendKv(os, "amat_host_ticks", res.amatHostTicks);
+    appendKv(os, "amat_protocol_ticks", res.amatProtocolTicks);
+    appendKv(os, "amat_indexing_ticks", res.amatIndexingTicks);
+    appendKv(os, "amat_ssd_dram_ticks", res.amatSsdDramTicks);
+    appendKv(os, "amat_flash_ticks", res.amatFlashTicks);
+    appendKv(os, "amat_total_ticks", res.amatTotalTicks);
+    appendKv(os, "flash_host_programs", res.flashHostPrograms);
+    appendKv(os, "flash_gc_programs", res.flashGcPrograms);
+    appendKv(os, "flash_reads", res.flashReads);
+    appendKv(os, "gc_runs", res.gcRuns);
+    appendKv(os, "compactions", res.compactions);
+    appendKv(os, "flash_read_latency_us", res.flashReadLatencyUs);
+    appendKv(os, "write_amplification", res.writeAmplification);
+    appendKv(os, "wear_spread",
+             static_cast<std::uint64_t>(res.wearSpread));
+    appendKv(os, "log_appends", res.logAppends);
+    appendKv(os, "log_update_hits", res.logUpdateHits);
+    appendKv(os, "log_overflow_appends", res.logOverflowAppends);
+    appendKv(os, "log_index_bytes_peak", res.logIndexBytesPeak);
+    appendKv(os, "promotions", res.promotions);
+    appendKv(os, "demotions", res.demotions);
+    appendKv(os, "astri_host_hits", res.astriHostHits);
+    appendKv(os, "astri_host_misses", res.astriHostMisses);
+    appendKv(os, "cxl_bytes", res.cxlBytes);
+    appendKv(os, "llc_misses", res.llcMisses);
+    appendKv(os, "llc_accesses", res.llcAccesses);
+    appendKv(os, "llc_mpki", res.llcMpki());
+    appendCdf(os, "offchip_latency_cdf_ns",
+              res.offchipLatency.cdfPoints());
+    appendCdf(os, "read_locality_cdf", res.readLocality.cdfPoints());
+    appendCdf(os, "write_locality_cdf", res.writeLocality.cdfPoints(),
+              false);
+    os << "}\n";
+    return os.str();
+}
+
+void
+writeJsonFile(const SimResult &res, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot open output file: " + path);
+    out << toJson(res);
+    if (!out)
+        throw std::runtime_error("short write: " + path);
+}
+
+} // namespace skybyte

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Result reporting: human-readable summary and JSON export of a
+ * SimResult (the artifact writes result files per run; downstream
+ * tooling wants machine-readable output).
+ */
+
+#ifndef SKYBYTE_SIM_REPORT_H
+#define SKYBYTE_SIM_REPORT_H
+
+#include <ostream>
+#include <string>
+
+#include "sim/system.h"
+
+namespace skybyte {
+
+/** Write a multi-line human-readable summary. */
+void printSummary(const SimResult &res, std::ostream &out);
+
+/**
+ * Serialize every scalar field plus the latency/locality CDFs as JSON.
+ * Deterministic key order; no external dependencies.
+ */
+std::string toJson(const SimResult &res);
+
+/** Write toJson() to @p path. @throws std::runtime_error on failure. */
+void writeJsonFile(const SimResult &res, const std::string &path);
+
+} // namespace skybyte
+
+#endif // SKYBYTE_SIM_REPORT_H

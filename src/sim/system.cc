@@ -1,0 +1,343 @@
+#include "sim/system.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace skybyte {
+
+void
+MemRouter::read(const MemRequest &req, Tick when, MemCallback cb)
+{
+    const Addr vaddr = req.lineAddr;
+    if (sys_.cfg_.dramOnly || !sys_.isDeviceAddr(vaddr)) {
+        hostReads_++;
+        const Tick issued = when;
+        sys_.hostDram_->read(req, when,
+                             [this, issued, cb = std::move(cb)](
+                                 const MemResponse &resp) {
+            hostReadTicks_ += static_cast<double>(
+                sys_.eq_.now() - issued);
+            cb(resp);
+        });
+        return;
+    }
+
+    const Addr dev = sys_.toDeviceAddr(vaddr);
+    const std::uint64_t lpn = pageNumber(dev);
+
+    const Tick t_cxl = when + sys_.numaPenalty(req.coreId);
+
+    if (sys_.astri_ != nullptr) {
+        sys_.astri_->read(dev, t_cxl, std::move(cb));
+        return;
+    }
+
+    if (sys_.migration_ != nullptr) {
+        sys_.migration_->onSsdAccess(lpn, when); // TPP sampling
+        if (sys_.migration_->route(lpn, lineInPage(dev), when, false)
+            == PageHome::Host) {
+            hostReads_++;
+            MemRequest hreq = req;
+            hreq.lineAddr = dev; // promoted pages keyed by device addr
+            const Tick issued = when;
+            sys_.hostDram_->read(hreq, when,
+                                 [this, issued, vaddr,
+                                  cb = std::move(cb)](
+                                     const MemResponse &resp) {
+                hostReadTicks_ += static_cast<double>(
+                    sys_.eq_.now() - issued);
+                MemResponse r = resp;
+                r.lineAddr = vaddr;
+                cb(r);
+            });
+            return;
+        }
+    }
+    sys_.ssd_->read(dev, t_cxl, std::move(cb));
+}
+
+void
+MemRouter::write(const MemRequest &req, Tick when)
+{
+    const Addr vaddr = req.lineAddr;
+    if (sys_.cfg_.dramOnly || !sys_.isDeviceAddr(vaddr)) {
+        hostWrites_++;
+        sys_.hostDram_->write(req, when);
+        return;
+    }
+    const Addr dev = sys_.toDeviceAddr(vaddr);
+    const std::uint64_t lpn = pageNumber(dev);
+
+    const Tick t_cxl = when + sys_.numaPenalty(req.coreId);
+    if (sys_.astri_ != nullptr) {
+        sys_.astri_->write(dev, req.value, t_cxl);
+        return;
+    }
+    if (sys_.migration_ != nullptr
+        && sys_.migration_->route(lpn, lineInPage(dev), when, true)
+               == PageHome::Host) {
+        hostWrites_++;
+        MemRequest hreq = req;
+        hreq.lineAddr = dev;
+        sys_.hostDram_->write(hreq, when);
+        return;
+    }
+    sys_.ssd_->write(dev, req.value, t_cxl);
+}
+
+System::System(const SimConfig &cfg, const std::string &workload_name,
+               const WorkloadParams &params)
+    : cfg_(cfg), params_(params)
+{
+    params_.numThreads = std::max(params_.numThreads, 1);
+    params_.seed = cfg_.seed;
+    workload_ = makeWorkload(workload_name, params_);
+    buildSystem([this, workload_name] {
+        return makeWorkload(workload_name, params_);
+    });
+}
+
+System::System(const SimConfig &cfg, std::unique_ptr<Workload> workload,
+               std::function<std::unique_ptr<Workload>()> warm_factory)
+    : cfg_(cfg)
+{
+    workload_ = std::move(workload);
+    params_.numThreads = workload_->numThreads();
+    params_.seed = cfg_.seed;
+    buildSystem(warm_factory);
+}
+
+void
+System::buildSystem(
+    const std::function<std::unique_ptr<Workload>()> &warm_factory)
+{
+    link_ = std::make_unique<CxlLink>(eq_, cfg_.cxl);
+    hostDram_ = std::make_unique<DramModel>(eq_, cfg_.hostDram);
+    ssd_ = std::make_unique<SsdController>(cfg_, eq_, *link_);
+
+    if (!cfg_.dramOnly && cfg_.preconditionSsd) {
+        const std::uint64_t pages =
+            workload_->footprintBytes() / kPageBytes;
+        ssd_->ftl().precondition(pages);
+    }
+    if (!cfg_.dramOnly && cfg_.warmupSsdCache && warm_factory) {
+        auto warm = warm_factory();
+        if (warm)
+            warmupSsd(*warm);
+    }
+
+    if (cfg_.policy.migration == MigrationMechanism::AstriFlash) {
+        astri_ = std::make_unique<AstriFlashCache>(cfg_, eq_, *ssd_,
+                                                   *hostDram_);
+    } else if (cfg_.policy.promotionEnable
+               && cfg_.policy.migration != MigrationMechanism::None) {
+        migration_ = std::make_unique<MigrationEngine>(cfg_, eq_, *ssd_,
+                                                       *hostDram_, *link_);
+    }
+
+    router_ = std::make_unique<MemRouter>(*this);
+    uncore_ = std::make_unique<Uncore>(cfg_.cpu, eq_, *router_);
+
+    for (int c = 0; c < cfg_.cpu.numCores; ++c) {
+        cores_.push_back(std::make_unique<Core>(c, cfg_.cpu, cfg_.policy,
+                                                eq_, *uncore_));
+    }
+    for (int t = 0; t < params_.numThreads; ++t) {
+        threads_.push_back(
+            std::make_unique<ThreadContext>(t, workload_.get()));
+    }
+
+    sched_ = std::make_unique<CxlAwareScheduler>(cfg_.policy.schedPolicy,
+                                                 cfg_.seed);
+    std::vector<Core *> core_ptrs;
+    for (auto &core : cores_) {
+        core->setScheduler(sched_.get());
+        core_ptrs.push_back(core.get());
+    }
+    sched_->setCores(core_ptrs);
+    for (auto &thread : threads_)
+        sched_->addThread(thread.get());
+
+    if (migration_ != nullptr) {
+        migration_->setShootdownHook([this](Tick cost) {
+            for (auto &core : cores_)
+                core->addPenalty(cost);
+        });
+    }
+}
+
+System::~System() = default;
+
+void
+System::warmupSsd(Workload &warm_ref)
+{
+    // Stream an identically-distributed copy of the trace (same seeds,
+    // fresh generator state) and preload the SSD data cache with the
+    // most-recently-touched device pages, oldest first so the LRU order
+    // matches a real warm state (§VI-A).
+    Workload *warm = &warm_ref;
+
+    std::unordered_map<std::uint64_t, std::uint64_t> last_touch;
+    std::uint64_t seq = 0;
+    std::uint64_t budget = 2'000'000;
+    TraceRecord rec;
+    bool progressed = true;
+    while (progressed && budget > 0) {
+        progressed = false;
+        for (int t = 0; t < warm->numThreads() && budget > 0; ++t) {
+            for (int k = 0; k < 64 && budget > 0; ++k) {
+                if (!warm->next(t, rec))
+                    break;
+                progressed = true;
+                budget--;
+                if (isDeviceAddr(rec.vaddr))
+                    last_touch[pageNumber(toDeviceAddr(rec.vaddr))] =
+                        seq++;
+            }
+        }
+    }
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pages(
+        last_touch.begin(), last_touch.end());
+    std::sort(pages.begin(), pages.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second < b.second;
+              });
+    const std::uint64_t capacity = ssd_->cache().capacityPages();
+    const std::size_t start =
+        pages.size() > capacity ? pages.size() - capacity : 0;
+    for (std::size_t i = start; i < pages.size(); ++i)
+        ssd_->warmFill(pages[i].first);
+}
+
+Tick
+System::numaPenalty(int core_id) const
+{
+    const NumaConfig &numa = cfg_.numa;
+    if (numa.sockets <= 1 || core_id < 0)
+        return 0;
+    const auto socket = static_cast<std::uint32_t>(
+        core_id * static_cast<int>(numa.sockets) / cfg_.cpu.numCores);
+    return socket == numa.ssdHomeSocket ? 0 : numa.interSocketLatency;
+}
+
+bool
+System::isDeviceAddr(Addr vaddr) const
+{
+    return vaddr >= Workload::kDataBase
+           && vaddr < Workload::kDataBase + workload_->footprintBytes();
+}
+
+Addr
+System::toDeviceAddr(Addr vaddr) const
+{
+    return vaddr - Workload::kDataBase;
+}
+
+SimResult
+System::run(Tick max_ticks)
+{
+    sched_->start(eq_.now());
+    bool timed_out = false;
+    while (!sched_->allFinished()) {
+        if (!eq_.step()) {
+            // No events but threads unfinished: deadlock guard.
+            timed_out = true;
+            break;
+        }
+        if (eq_.now() > max_ticks) {
+            timed_out = true;
+            break;
+        }
+    }
+    // Drain device-side background work, bounded so a busy device
+    // cannot extend the run unboundedly past thread completion.
+    const Tick drain_limit =
+        std::min(max_ticks, eq_.now() + usToTicks(100'000.0));
+    while (!timed_out && eq_.pending() > 0 && eq_.now() <= drain_limit)
+        eq_.step();
+
+    SimResult res;
+    res.variant = cfg_.name;
+    res.workload = workload_->name();
+    res.timedOut = timed_out;
+    res.execTime = sched_->lastFinishTime();
+
+    for (auto &core : cores_) {
+        const CoreStats &cs = core->stats();
+        res.committedInstructions += cs.committedInstructions;
+        res.computeTicks += cs.computeTicks;
+        res.memStallTicks += cs.memStallTicks;
+        res.ctxSwitchTicks += cs.ctxSwitchTicks;
+        res.idleTicks += cs.idleTicks;
+        res.contextSwitches += cs.contextSwitches;
+    }
+
+    const SsdStats &ss = ssd_->stats();
+    res.hostReads = router_->hostReads();
+    res.hostWrites = router_->hostWrites();
+    res.ssdReadHits = ss.readHitsLog + ss.readHitsCache;
+    res.ssdReadMisses = ss.readMisses;
+    res.ssdWrites = ss.writes;
+
+    const double ssd_reads = static_cast<double>(ss.amatReads);
+    const double host_reads = static_cast<double>(res.hostReads);
+    const double total_reads = ssd_reads + host_reads;
+    if (total_reads > 0) {
+        res.amatHostTicks = router_->hostReadTicks() / total_reads;
+        res.amatProtocolTicks = ss.protocolTicks / total_reads;
+        res.amatIndexingTicks = ss.indexingTicks / total_reads;
+        res.amatSsdDramTicks = ss.ssdDramTicks / total_reads;
+        res.amatFlashTicks = ss.flashTicks / total_reads;
+        res.amatTotalTicks = res.amatHostTicks + res.amatProtocolTicks
+                             + res.amatIndexingTicks + res.amatSsdDramTicks
+                             + res.amatFlashTicks;
+    }
+
+    const FtlStats &fs = ssd_->ftl().stats();
+    res.flashHostPrograms = fs.hostPrograms;
+    res.flashGcPrograms = fs.gcPageMoves;
+    res.flashReads = ssd_->ftl().totalReads();
+    res.gcRuns = fs.gcRuns;
+    res.compactions = ss.compactionRuns;
+    res.flashReadLatencyUs =
+        ticksToUs(static_cast<Tick>(ss.flashReadLatency.meanTicks()));
+    res.writeAmplification = ssd_->ftlc().writeAmplification();
+    res.wearSpread = ssd_->ftlc().wearSummary().spread();
+
+    if (const WriteLog *log = ssd_->writeLog()) {
+        const WriteLogStats &ls = log->stats();
+        res.logAppends = ls.appends;
+        res.logUpdateHits = ls.updateHits;
+        res.logOverflowAppends = ls.overflowAppends;
+        res.logIndexBytesPeak = ls.indexBytesPeak;
+    }
+
+    if (migration_ != nullptr) {
+        res.promotions = migration_->stats().promotions;
+        res.demotions = migration_->stats().demotions;
+    }
+    if (astri_ != nullptr) {
+        res.astriHostHits = astri_->stats().hostHits;
+        res.astriHostMisses = astri_->stats().hostMisses;
+        res.promotions = astri_->stats().pageFills;
+    }
+
+    res.cxlBytes = link_->bytesTransferred();
+    res.llcMisses = uncore_->llcMisses();
+    res.llcAccesses = uncore_->l3c().hits() + uncore_->l3c().misses();
+    res.offchipLatency = uncore_->offchipLatency();
+    res.readLocality = ss.readLocality;
+    res.writeLocality = ss.writeLocality;
+    return res;
+}
+
+SimResult
+runSimulation(const SimConfig &cfg, const std::string &workload_name,
+              const WorkloadParams &params, Tick max_ticks)
+{
+    System sys(cfg, workload_name, params);
+    return sys.run(max_ticks);
+}
+
+} // namespace skybyte

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Full-system assembly: cores + caches + CXL link + SSD + OS + migration,
+ * wired per a SimConfig, executing one multi-threaded workload to
+ * completion and returning the statistics every bench and test consumes.
+ *
+ * The MemRouter is the host physical-address decoder: per-thread private
+ * data and promoted pages go to host DRAM; everything else goes to the
+ * CXL-SSD (or, for the AstriFlash baseline, through the host page
+ * cache). In DRAM-Only mode everything is host DRAM (the paper's ideal).
+ */
+
+#ifndef SKYBYTE_SIM_SYSTEM_H
+#define SKYBYTE_SIM_SYSTEM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/event_queue.h"
+#include "common/stats.h"
+#include "core/astriflash.h"
+#include "core/migration.h"
+#include "core/os.h"
+#include "core/ssd_controller.h"
+#include "cpu/core.h"
+#include "cpu/uncore.h"
+#include "cxl/cxl.h"
+#include "mem/dram.h"
+#include "trace/workload.h"
+
+namespace skybyte {
+
+/** Everything a run produces (see DESIGN.md §4 for figure mapping). */
+struct SimResult
+{
+    std::string variant;
+    std::string workload;
+    bool timedOut = false;
+
+    /** Execution time: last thread completion. */
+    Tick execTime = 0;
+    std::uint64_t committedInstructions = 0;
+
+    /** Fig 4 / Fig 10 boundedness breakdown (summed over cores). */
+    Tick computeTicks = 0;
+    Tick memStallTicks = 0;
+    Tick ctxSwitchTicks = 0;
+    Tick idleTicks = 0;
+    std::uint64_t contextSwitches = 0;
+
+    /** Fig 16 request breakdown. */
+    std::uint64_t hostReads = 0;
+    std::uint64_t hostWrites = 0;
+    std::uint64_t ssdReadHits = 0;   ///< S-R-H (log or cache)
+    std::uint64_t ssdReadMisses = 0; ///< S-R-M
+    std::uint64_t ssdWrites = 0;     ///< S-W
+
+    /** Fig 17 AMAT components, as mean ticks per off-chip demand read. */
+    double amatHostTicks = 0;
+    double amatProtocolTicks = 0;
+    double amatIndexingTicks = 0;
+    double amatSsdDramTicks = 0;
+    double amatFlashTicks = 0;
+    double amatTotalTicks = 0;
+
+    /** Fig 18 / Fig 20 flash write traffic (pages programmed). */
+    std::uint64_t flashHostPrograms = 0;
+    std::uint64_t flashGcPrograms = 0;
+    std::uint64_t flashReads = 0;
+    std::uint64_t gcRuns = 0;
+    std::uint64_t compactions = 0;
+
+    /** Table III: mean demand flash read latency (us). */
+    double flashReadLatencyUs = 0;
+
+    /** Flash pages programmed per host page written (>= 1 under GC). */
+    double writeAmplification = 1.0;
+    /** Max - min block erase count at end of run (wear leveling). */
+    std::uint32_t wearSpread = 0;
+
+    /** Write log behaviour. */
+    std::uint64_t logAppends = 0;
+    std::uint64_t logUpdateHits = 0;
+    std::uint64_t logOverflowAppends = 0;
+    std::uint64_t logIndexBytesPeak = 0;
+
+    /** Migration / AstriFlash. */
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t astriHostHits = 0;
+    std::uint64_t astriHostMisses = 0;
+
+    /** Bandwidth (Fig 15): CXL link payload bytes moved. */
+    std::uint64_t cxlBytes = 0;
+
+    /** LLC statistics (Table I MPKI). */
+    std::uint64_t llcMisses = 0;
+    std::uint64_t llcAccesses = 0;
+
+    /** Fig 3: off-chip demand latency distribution. */
+    LatencyHistogram offchipLatency;
+    /** Fig 5 / Fig 6 locality distributions. */
+    RatioHistogram readLocality;
+    RatioHistogram writeLocality;
+
+    /** Derived helpers. @{ */
+    double execMs() const { return ticksToNs(execTime) / 1e6; }
+    double
+    ipc() const
+    {
+        return execTime == 0
+                   ? 0.0
+                   : static_cast<double>(committedInstructions)
+                         / (static_cast<double>(execTime)
+                            / static_cast<double>(kTicksPerCycle));
+    }
+    /** Instructions per second of simulated time. */
+    double
+    throughput() const
+    {
+        return execTime == 0
+                   ? 0.0
+                   : static_cast<double>(committedInstructions)
+                         / (ticksToNs(execTime) / 1e9);
+    }
+    /** CXL payload bandwidth in GB/s. */
+    double
+    cxlBandwidthGbps() const
+    {
+        return execTime == 0 ? 0.0
+                             : static_cast<double>(cxlBytes)
+                                   / ticksToNs(execTime);
+    }
+    double
+    llcMpki() const
+    {
+        return committedInstructions == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(llcMisses)
+                         / static_cast<double>(committedInstructions);
+    }
+    /** @} */
+};
+
+class System;
+
+/**
+ * Host physical-address router (the MemoryBackend the uncore sees).
+ */
+class MemRouter : public MemoryBackend
+{
+  public:
+    explicit MemRouter(System &sys) : sys_(sys) {}
+
+    void read(const MemRequest &req, Tick when, MemCallback cb) override;
+    void write(const MemRequest &req, Tick when) override;
+
+    std::uint64_t hostReads() const { return hostReads_; }
+    std::uint64_t hostWrites() const { return hostWrites_; }
+    double hostReadTicks() const { return hostReadTicks_; }
+
+  private:
+    System &sys_;
+    std::uint64_t hostReads_ = 0;
+    std::uint64_t hostWrites_ = 0;
+    double hostReadTicks_ = 0;
+};
+
+/**
+ * One simulated machine running one workload under one configuration.
+ */
+class System
+{
+  public:
+    System(const SimConfig &cfg, const std::string &workload_name,
+           const WorkloadParams &params);
+
+    /**
+     * Bring-your-own-workload constructor (e.g., a TraceFileWorkload or
+     * a user-defined generator). @p warm_factory, when given, produces
+     * an identically-distributed fresh instance for the SSD cache
+     * warmup pass; without it warmup is skipped for custom workloads.
+     */
+    System(const SimConfig &cfg, std::unique_ptr<Workload> workload,
+           std::function<std::unique_ptr<Workload>()> warm_factory =
+               nullptr);
+
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Run to completion (all threads finish and the device drains).
+     * @param max_ticks safety limit; the result notes if it was hit.
+     */
+    SimResult run(Tick max_ticks = kTickMax);
+
+    /** Component access for tests and router. @{ */
+    EventQueue &eventQueue() { return eq_; }
+    SsdController &ssd() { return *ssd_; }
+    MigrationEngine *migration() { return migration_.get(); }
+    AstriFlashCache *astriflash() { return astri_.get(); }
+    DramModel &hostDram() { return *hostDram_; }
+    CxlLink &cxlLink() { return *link_; }
+    Workload &workload() { return *workload_; }
+    const SimConfig &config() const { return cfg_; }
+    CxlAwareScheduler &scheduler() { return *sched_; }
+    /** @} */
+
+    /** Address routing helpers used by MemRouter. @{ */
+    bool isDeviceAddr(Addr vaddr) const;
+    Addr toDeviceAddr(Addr vaddr) const;
+    /** Inter-socket hop cost for @p core_id's CXL accesses (§IV). */
+    Tick numaPenalty(int core_id) const;
+    /** @} */
+
+  private:
+    friend class MemRouter;
+
+    /** Shared construction tail used by both constructors. */
+    void buildSystem(
+        const std::function<std::unique_ptr<Workload>()> &warm_factory);
+
+    /** Preload the SSD data cache from a warmup trace pass (§VI-A). */
+    void warmupSsd(Workload &warm);
+
+    SimConfig cfg_;
+    WorkloadParams params_;
+    EventQueue eq_;
+    std::unique_ptr<Workload> workload_;
+    std::unique_ptr<CxlLink> link_;
+    std::unique_ptr<DramModel> hostDram_;
+    std::unique_ptr<SsdController> ssd_;
+    std::unique_ptr<MigrationEngine> migration_;
+    std::unique_ptr<AstriFlashCache> astri_;
+    std::unique_ptr<MemRouter> router_;
+    std::unique_ptr<Uncore> uncore_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<ThreadContext>> threads_;
+    std::unique_ptr<CxlAwareScheduler> sched_;
+};
+
+/** Convenience: build + run in one call. */
+SimResult runSimulation(const SimConfig &cfg,
+                        const std::string &workload_name,
+                        const WorkloadParams &params,
+                        Tick max_ticks = kTickMax);
+
+} // namespace skybyte
+
+#endif // SKYBYTE_SIM_SYSTEM_H

@@ -1,0 +1,118 @@
+#include "ssd/flash.h"
+
+#include <algorithm>
+
+namespace skybyte {
+
+FlashChannel::FlashChannel(int id, const FlashConfig &cfg, EventQueue &eq)
+    : id_(id), cfg_(cfg), eq_(eq)
+{
+    const std::size_t dies = static_cast<std::size_t>(cfg.chipsPerChannel)
+                             * cfg.diesPerChip
+                             * std::max(cfg.planesPerDie, 1u);
+    dieFree_.assign(std::max<std::size_t>(dies, 1), 0);
+}
+
+Tick
+FlashChannel::latencyOf(FlashOpKind kind) const
+{
+    switch (kind) {
+      case FlashOpKind::Read:
+        return cfg_.timing.readLatency + cfg_.pageTransferTime;
+      case FlashOpKind::Program:
+        return cfg_.timing.programLatency + cfg_.pageTransferTime;
+      case FlashOpKind::Erase:
+        return cfg_.timing.eraseLatency;
+    }
+    return 0;
+}
+
+std::size_t
+FlashChannel::pickDie() const
+{
+    std::size_t best = 0;
+    for (std::size_t d = 1; d < dieFree_.size(); ++d) {
+        if (dieFree_[d] < dieFree_[best])
+            best = d;
+    }
+    return best;
+}
+
+Tick
+FlashChannel::earliestDieFree() const
+{
+    return dieFree_[pickDie()];
+}
+
+void
+FlashChannel::enqueue(FlashOpKind kind, Tick when,
+                      std::function<void(Tick)> on_done)
+{
+    const std::size_t die = pickDie();
+    Tick done = when;
+    switch (kind) {
+      case FlashOpKind::Read: {
+        // Cell read on the die, then the page crosses the channel bus.
+        const Tick cell_start = std::max(when, dieFree_[die]);
+        const Tick cell_done = cell_start + cfg_.timing.readLatency;
+        const Tick bus_start = std::max(cell_done, busFree_);
+        done = bus_start + cfg_.pageTransferTime;
+        busFree_ = done;
+        dieFree_[die] = done; // die holds the data until transfer ends
+        pendingReads_++;
+        busyTicks_ += done - cell_start;
+        break;
+      }
+      case FlashOpKind::Program: {
+        // Page crosses the bus into the die, then the die programs.
+        const Tick bus_start = std::max(when, busFree_);
+        const Tick bus_done = bus_start + cfg_.pageTransferTime;
+        busFree_ = bus_done;
+        const Tick cell_start = std::max(bus_done, dieFree_[die]);
+        done = cell_start + cfg_.timing.programLatency;
+        dieFree_[die] = done;
+        pendingPrograms_++;
+        busyTicks_ += done - bus_start;
+        break;
+      }
+      case FlashOpKind::Erase: {
+        const Tick start = std::max(when, dieFree_[die]);
+        done = start + cfg_.timing.eraseLatency;
+        dieFree_[die] = done;
+        pendingErases_++;
+        busyTicks_ += done - start;
+        break;
+      }
+    }
+    eq_.schedule(done, [this, kind, done, cb = std::move(on_done)] {
+        switch (kind) {
+          case FlashOpKind::Read:
+            pendingReads_--;
+            reads_++;
+            break;
+          case FlashOpKind::Program:
+            pendingPrograms_--;
+            programs_++;
+            break;
+          case FlashOpKind::Erase:
+            pendingErases_--;
+            erases_++;
+            break;
+        }
+        if (cb)
+            cb(done);
+    });
+}
+
+Tick
+FlashChannel::estimateReadDelay(Tick now) const
+{
+    // Algorithm 1: predict the delay of a newly arriving read from the
+    // channel queue status (die availability + bus backlog).
+    const Tick cell_start = std::max(now, earliestDieFree());
+    const Tick cell_done = cell_start + cfg_.timing.readLatency;
+    const Tick bus_start = std::max(cell_done, busFree_);
+    return bus_start + cfg_.pageTransferTime - now;
+}
+
+} // namespace skybyte

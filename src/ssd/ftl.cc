@@ -1,0 +1,351 @@
+#include "ssd/ftl.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace skybyte {
+
+Ftl::Ftl(const FlashConfig &cfg, EventQueue &eq, std::uint64_t seed)
+    : cfg_(cfg), eq_(eq), rng_(seed)
+{
+    channels_.resize(cfg_.channels);
+    const auto blocks = static_cast<std::uint32_t>(cfg_.blocksPerChannel());
+    for (std::uint32_t c = 0; c < cfg_.channels; ++c) {
+        Channel &ch = channels_[c];
+        ch.flash = std::make_unique<FlashChannel>(static_cast<int>(c),
+                                                  cfg_, eq_);
+        ch.blocks.resize(blocks);
+        for (auto &blk : ch.blocks)
+            blk.slotLpn.assign(cfg_.pagesPerBlock, kInvalidLpn);
+        // All blocks initially free except the first, which opens.
+        for (std::uint32_t b = blocks; b > 1; --b)
+            ch.freeList.push_back(b - 1);
+        ch.blocks[0].isFree = false;
+        ch.blocks[0].isOpen = true;
+        ch.openBlock = 0;
+        ch.coldLpnNext = kColdLpnBase + c;
+    }
+}
+
+std::uint32_t
+Ftl::gcThresholdBlocks() const
+{
+    return static_cast<std::uint32_t>(
+        static_cast<double>(cfg_.blocksPerChannel())
+        * cfg_.gcFreeBlockThreshold);
+}
+
+std::uint32_t
+Ftl::freeBlocks(std::uint32_t ch) const
+{
+    return static_cast<std::uint32_t>(channels_[ch].freeList.size());
+}
+
+std::uint64_t
+Ftl::totalPrograms() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch.flash->completedPrograms();
+    return n;
+}
+
+std::uint64_t
+Ftl::totalReads() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch.flash->completedReads();
+    return n;
+}
+
+const FlashChannel &
+Ftl::channelOf(std::uint64_t lpn) const
+{
+    return *channels_[channelIdx(lpn)].flash;
+}
+
+void
+Ftl::ensureOpenBlock(Channel &ch)
+{
+    Block &open = ch.blocks[ch.openBlock];
+    if (open.isOpen && open.writeCursor < cfg_.pagesPerBlock)
+        return;
+    open.isOpen = false;
+    assert(!ch.freeList.empty() && "flash device out of free blocks");
+    std::uint32_t next;
+    if (cfg_.wearAwareAllocation) {
+        // Dynamic wear leveling: open the least-erased free block so
+        // hot rewrite streams do not keep cycling the same blocks.
+        auto coldest = ch.freeList.begin();
+        for (auto it = ch.freeList.begin(); it != ch.freeList.end();
+             ++it) {
+            if (ch.blocks[*it].eraseCount
+                < ch.blocks[*coldest].eraseCount) {
+                coldest = it;
+            }
+        }
+        next = *coldest;
+        ch.freeList.erase(coldest);
+    } else {
+        next = ch.freeList.back();
+        ch.freeList.pop_back();
+    }
+    Block &blk = ch.blocks[next];
+    blk.isFree = false;
+    blk.isOpen = true;
+    blk.writeCursor = 0;
+    blk.validCount = 0;
+    std::fill(blk.slotLpn.begin(), blk.slotLpn.end(), kInvalidLpn);
+    ch.openBlock = next;
+}
+
+void
+Ftl::invalidate(std::uint64_t lpn)
+{
+    auto it = mapping_.find(lpn);
+    if (it == mapping_.end() || !it->second.valid)
+        return;
+    Channel &ch = channels_[channelIdx(lpn)];
+    Block &blk = ch.blocks[it->second.block];
+    if (blk.slotLpn[it->second.slot] == lpn) {
+        blk.slotLpn[it->second.slot] = kInvalidLpn;
+        if (blk.validCount > 0)
+            blk.validCount--;
+    }
+    it->second.valid = false;
+}
+
+void
+Ftl::mapToOpenBlock(Channel &ch, std::uint64_t lpn)
+{
+    ensureOpenBlock(ch);
+    Block &blk = ch.blocks[ch.openBlock];
+    const std::uint32_t slot = blk.writeCursor++;
+    blk.slotLpn[slot] = lpn;
+    blk.validCount++;
+    mapping_[lpn] = Ppa{ch.openBlock, slot, true};
+    stats_.mappingUpdates++;
+}
+
+void
+Ftl::readPage(std::uint64_t lpn, Tick when, std::function<void(Tick)> cb)
+{
+    Channel &ch = channels_[channelIdx(lpn)];
+    auto it = mapping_.find(lpn);
+    if (it == mapping_.end() || !it->second.valid) {
+        // First touch of a never-written page: map it in place
+        // (the paper's simulator warms all data into the SSD first).
+        invalidate(lpn);
+        mapToOpenBlock(ch, lpn);
+    }
+    stats_.hostReads++;
+    ch.flash->enqueue(FlashOpKind::Read, when, std::move(cb));
+}
+
+void
+Ftl::writePage(std::uint64_t lpn, Tick when, const PageData &data,
+               std::function<void(Tick)> cb)
+{
+    Channel &ch = channels_[channelIdx(lpn)];
+    invalidate(lpn);
+    mapToOpenBlock(ch, lpn);
+    pageData(lpn) = data;
+    stats_.hostPrograms++;
+    const std::uint32_t ch_idx = channelIdx(lpn);
+    ch.flash->enqueue(FlashOpKind::Program, when,
+                      [this, ch_idx, cb = std::move(cb)](Tick done) {
+                          if (cb)
+                              cb(done);
+                          maybeStartGc(ch_idx, done);
+                      });
+    // Also evaluate GC eagerly so back-to-back writes cannot outrun it.
+    maybeStartGc(ch_idx, when);
+}
+
+Tick
+Ftl::estimateReadDelay(std::uint64_t lpn, Tick now) const
+{
+    return channels_[channelIdx(lpn)].flash->estimateReadDelay(now);
+}
+
+bool
+Ftl::gcActiveFor(std::uint64_t lpn) const
+{
+    return channels_[channelIdx(lpn)].flash->gcActive();
+}
+
+void
+Ftl::maybeStartGc(std::uint32_t ch_idx, Tick when)
+{
+    Channel &ch = channels_[ch_idx];
+    if (ch.gcRunning)
+        return;
+    if (ch.freeList.size() >= gcThresholdBlocks())
+        return;
+    ch.gcRunning = true;
+    ch.flash->setGcActive(true);
+    stats_.gcRuns++;
+    gcRound(ch_idx, when);
+}
+
+void
+Ftl::gcRound(std::uint32_t ch_idx, Tick when)
+{
+    Channel &ch = channels_[ch_idx];
+
+    // Greedy victim: fewest valid pages among closed, non-free blocks.
+    std::uint32_t victim = ~0u;
+    std::uint32_t best_valid = ~0u;
+    for (std::uint32_t b = 0; b < ch.blocks.size(); ++b) {
+        const Block &blk = ch.blocks[b];
+        if (blk.isFree || blk.isOpen || blk.writeCursor == 0)
+            continue;
+        if (blk.validCount < best_valid) {
+            best_valid = blk.validCount;
+            victim = b;
+        }
+    }
+    // Nothing reclaimable (no victim, or only fully-valid blocks whose
+    // relocation would consume as many pages as it frees): stop rather
+    // than churn forever.
+    if (victim == ~0u || best_valid >= cfg_.pagesPerBlock) {
+        ch.gcRunning = false;
+        ch.flash->setGcActive(false);
+        return;
+    }
+
+    // Relocate valid pages: read + program per page, sharing the FIFO.
+    Block &blk = ch.blocks[victim];
+    Tick cursor = when;
+    for (std::uint32_t s = 0; s < cfg_.pagesPerBlock; ++s) {
+        const std::uint64_t lpn = blk.slotLpn[s];
+        if (lpn == kInvalidLpn)
+            continue;
+        ch.flash->enqueue(FlashOpKind::Read, cursor, nullptr);
+        // Remap before enqueueing the program so the open block advances.
+        blk.slotLpn[s] = kInvalidLpn;
+        blk.validCount--;
+        mapToOpenBlock(ch, lpn);
+        ch.flash->enqueue(FlashOpKind::Program, cursor, nullptr);
+        stats_.gcPageMoves++;
+    }
+
+    ch.flash->enqueue(FlashOpKind::Erase, cursor,
+                      [this, ch_idx, victim](Tick done) {
+        Channel &chn = channels_[ch_idx];
+        Block &vb = chn.blocks[victim];
+        vb.isFree = true;
+        vb.isOpen = false;
+        vb.validCount = 0;
+        vb.writeCursor = 0;
+        vb.eraseCount++;
+        std::fill(vb.slotLpn.begin(), vb.slotLpn.end(), kInvalidLpn);
+        chn.freeList.push_back(victim);
+        stats_.gcErases++;
+        if (chn.freeList.size()
+            < static_cast<std::size_t>(
+                  static_cast<double>(cfg_.blocksPerChannel())
+                  * cfg_.gcRestoreThreshold)) {
+            gcRound(ch_idx, done);
+        } else {
+            chn.gcRunning = false;
+            chn.flash->setGcActive(false);
+        }
+    });
+}
+
+void
+Ftl::precondition(std::uint64_t footprint_pages, double rewrite_fraction)
+{
+    // 1. Map every host LPN once (no timing; boot-time state).
+    for (std::uint64_t lpn = 0; lpn < footprint_pages; ++lpn)
+        mapToOpenBlock(channels_[channelIdx(lpn)], lpn);
+
+    // 2. Rewrite a fraction to scatter dead pages across blocks.
+    const auto rewrites = static_cast<std::uint64_t>(
+        static_cast<double>(footprint_pages) * rewrite_fraction);
+    for (std::uint64_t i = 0; i < rewrites; ++i) {
+        const std::uint64_t lpn = rng_.below(footprint_pages);
+        invalidate(lpn);
+        mapToOpenBlock(channels_[channelIdx(lpn)], lpn);
+    }
+
+    // 3. Pad each channel with cold data until free blocks sit just above
+    //    the GC threshold, so host writes soon push it into GC. A
+    //    quarter of the cold pages are dead (over-written data), leaving
+    //    GC victims with reclaimable space — a steady-state device, not
+    //    a pathological 100%-valid one.
+    const std::uint32_t target_free = gcThresholdBlocks() + 2;
+    for (auto &ch : channels_) {
+        std::vector<std::uint64_t> cold_pages;
+        while (ch.freeList.size() > target_free) {
+            const std::uint64_t cold = ch.coldLpnNext;
+            ch.coldLpnNext += cfg_.channels;
+            mapToOpenBlock(ch, cold);
+            cold_pages.push_back(cold);
+        }
+        for (std::uint64_t cold : cold_pages) {
+            if (rng_.chance(0.25))
+                invalidate(cold);
+        }
+    }
+}
+
+double
+Ftl::writeAmplification() const
+{
+    if (stats_.hostPrograms == 0)
+        return 1.0;
+    return static_cast<double>(stats_.hostPrograms + stats_.gcPageMoves)
+           / static_cast<double>(stats_.hostPrograms);
+}
+
+Ftl::WearSummary
+Ftl::wearSummary() const
+{
+    WearSummary summary;
+    std::uint64_t total = 0;
+    std::uint64_t count = 0;
+    bool first = true;
+    for (const Channel &ch : channels_) {
+        for (const Block &blk : ch.blocks) {
+            if (first) {
+                summary.minErase = blk.eraseCount;
+                summary.maxErase = blk.eraseCount;
+                first = false;
+            }
+            summary.minErase = std::min(summary.minErase,
+                                        blk.eraseCount);
+            summary.maxErase = std::max(summary.maxErase,
+                                        blk.eraseCount);
+            total += blk.eraseCount;
+            count++;
+        }
+    }
+    if (count > 0)
+        summary.meanErase = static_cast<double>(total)
+                            / static_cast<double>(count);
+    return summary;
+}
+
+PageData &
+Ftl::pageData(std::uint64_t lpn)
+{
+    auto &slot = data_[lpn];
+    if (!slot)
+        slot = std::make_unique<PageData>(PageData{});
+    return *slot;
+}
+
+LineValue
+Ftl::peekLine(Addr line_addr)
+{
+    const std::uint64_t lpn = pageNumber(line_addr);
+    auto it = data_.find(lpn);
+    if (it == data_.end())
+        return 0;
+    return (*it->second)[lineInPage(line_addr)];
+}
+
+} // namespace skybyte

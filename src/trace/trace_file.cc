@@ -1,0 +1,116 @@
+#include "trace/trace_file.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace skybyte {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'K', 'Y', 'T', 'R', 'C', '0', '1'};
+
+struct FileHeader
+{
+    char magic[8];
+    std::uint32_t numThreads;
+    std::uint32_t nameLen;
+    std::uint64_t footprintBytes;
+};
+static_assert(sizeof(FileHeader) == 24);
+
+} // namespace
+
+std::uint64_t
+writeTraceFile(const std::string &path, Workload &workload)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("cannot open trace file: " + path);
+
+    const std::string name = workload.name();
+    FileHeader hdr{};
+    std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+    hdr.numThreads = static_cast<std::uint32_t>(workload.numThreads());
+    hdr.nameLen = static_cast<std::uint32_t>(name.size());
+    hdr.footprintBytes = workload.footprintBytes();
+    out.write(reinterpret_cast<const char *>(&hdr), sizeof(hdr));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+
+    std::uint64_t total = 0;
+    for (int t = 0; t < workload.numThreads(); ++t) {
+        std::vector<TraceFileRecord> records;
+        TraceRecord rec;
+        while (workload.next(t, rec)) {
+            records.push_back({rec.vaddr, rec.computeOps,
+                               rec.isWrite ? 1u : 0u});
+        }
+        const auto n = static_cast<std::uint64_t>(records.size());
+        out.write(reinterpret_cast<const char *>(&n), sizeof(n));
+        out.write(reinterpret_cast<const char *>(records.data()),
+                  static_cast<std::streamsize>(records.size()
+                                               * sizeof(TraceFileRecord)));
+        total += n;
+    }
+    if (!out)
+        throw std::runtime_error("short write to trace file: " + path);
+    return total;
+}
+
+TraceFileWorkload::TraceFileWorkload(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open trace file: " + path);
+
+    // All length fields below come from the file; bound every
+    // allocation by what the file could actually contain so a corrupt
+    // header cannot demand terabytes.
+    in.seekg(0, std::ios::end);
+    const auto file_size = static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0, std::ios::beg);
+
+    FileHeader hdr{};
+    in.read(reinterpret_cast<char *>(&hdr), sizeof(hdr));
+    if (!in || std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0)
+        throw std::runtime_error("bad trace file header: " + path);
+    if (hdr.nameLen > file_size - sizeof(hdr))
+        throw std::runtime_error("bad trace file header: " + path);
+    // Each thread section carries at least its 8-byte record count.
+    if (hdr.numThreads > (file_size - sizeof(hdr) - hdr.nameLen) / 8)
+        throw std::runtime_error("bad trace file header: " + path);
+
+    name_.resize(hdr.nameLen);
+    in.read(name_.data(), hdr.nameLen);
+    footprint_ = hdr.footprintBytes;
+
+    perThread_.resize(hdr.numThreads);
+    for (auto &records : perThread_) {
+        std::uint64_t n = 0;
+        in.read(reinterpret_cast<char *>(&n), sizeof(n));
+        if (!in || n > file_size / sizeof(TraceFileRecord))
+            throw std::runtime_error("truncated trace file: " + path);
+        records.resize(n);
+        in.read(reinterpret_cast<char *>(records.data()),
+                static_cast<std::streamsize>(n * sizeof(TraceFileRecord)));
+        if (!in)
+            throw std::runtime_error("truncated trace file: " + path);
+    }
+    cursor_.assign(hdr.numThreads, 0);
+    emitted_.assign(hdr.numThreads, 0);
+}
+
+bool
+TraceFileWorkload::next(int tid, TraceRecord &rec)
+{
+    auto &records = perThread_[tid];
+    if (cursor_[tid] >= records.size())
+        return false;
+    const TraceFileRecord &r = records[cursor_[tid]++];
+    rec.vaddr = r.vaddr;
+    rec.computeOps = r.computeOps;
+    rec.isWrite = r.isWrite != 0;
+    emitted_[tid] += r.computeOps + 1;
+    return true;
+}
+
+} // namespace skybyte

@@ -1,0 +1,164 @@
+#include "trace/trace_stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+namespace skybyte {
+
+namespace {
+
+/** Per-page line coverage and access counting. */
+struct PageTouch
+{
+    std::uint64_t touched = 0; ///< line bitmap, any access
+    std::uint64_t written = 0; ///< line bitmap, writes
+    std::uint64_t accesses = 0;
+};
+
+std::array<double, 10>
+coverageCdf(const std::unordered_map<std::uint64_t, PageTouch> &pages,
+            std::uint64_t PageTouch::*mask)
+{
+    std::array<double, 10> cdf{};
+    if (pages.empty())
+        return cdf;
+    for (const auto &[lpn, touch] : pages) {
+        const int lines = std::popcount(touch.*mask);
+        const double frac =
+            static_cast<double>(lines) / kLinesPerPage;
+        // Bucket i accumulates pages with frac <= (i+1)/10.
+        for (std::size_t i = 0; i < cdf.size(); ++i) {
+            if (frac <= static_cast<double>(i + 1) / 10.0)
+                cdf[i] += 1.0;
+        }
+    }
+    for (double &bucket : cdf)
+        bucket /= static_cast<double>(pages.size());
+    return cdf;
+}
+
+} // namespace
+
+TraceSummary
+summarizeWorkload(Workload &workload, std::uint64_t max_records)
+{
+    TraceSummary summary;
+    std::unordered_map<std::uint64_t, PageTouch> pages;
+    double touched_sum = 0;
+    double written_sum = 0;
+
+    TraceRecord rec;
+    bool progressed = true;
+    while (progressed && summary.records < max_records) {
+        progressed = false;
+        for (int tid = 0; tid < workload.numThreads()
+                          && summary.records < max_records;
+             ++tid) {
+            if (!workload.next(tid, rec))
+                continue;
+            progressed = true;
+            summary.records++;
+            summary.instructions += rec.computeOps + 1;
+            (rec.isWrite ? summary.memWrites : summary.memReads)++;
+            const bool device =
+                rec.vaddr >= Workload::kDataBase
+                && rec.vaddr < Workload::kDataBase
+                                   + workload.footprintBytes();
+            if (!device)
+                continue;
+            summary.deviceAccesses++;
+            const Addr dev = rec.vaddr - Workload::kDataBase;
+            PageTouch &touch = pages[pageNumber(dev)];
+            touch.accesses++;
+            const std::uint64_t bit = 1ULL << lineInPage(dev);
+            touch.touched |= bit;
+            if (rec.isWrite)
+                touch.written |= bit;
+        }
+    }
+
+    summary.uniquePages = pages.size();
+    if (!pages.empty()) {
+        std::vector<std::uint64_t> access_counts;
+        access_counts.reserve(pages.size());
+        std::uint64_t total_accesses = 0;
+        for (const auto &[lpn, touch] : pages) {
+            touched_sum += std::popcount(touch.touched);
+            written_sum += std::popcount(touch.written);
+            access_counts.push_back(touch.accesses);
+            total_accesses += touch.accesses;
+        }
+        const auto denom =
+            static_cast<double>(pages.size()) * kLinesPerPage;
+        summary.meanLinesTouched = touched_sum / denom;
+        summary.meanLinesWritten = written_sum / denom;
+        summary.touchedCdf = coverageCdf(pages, &PageTouch::touched);
+        summary.writtenCdf = coverageCdf(pages, &PageTouch::written);
+
+        std::sort(access_counts.begin(), access_counts.end(),
+                  std::greater<>());
+        const std::size_t top =
+            std::max<std::size_t>(1, access_counts.size() / 10);
+        std::uint64_t top_accesses = 0;
+        for (std::size_t i = 0; i < top; ++i)
+            top_accesses += access_counts[i];
+        summary.hotTop10PctShare =
+            total_accesses == 0
+                ? 0.0
+                : static_cast<double>(top_accesses)
+                      / static_cast<double>(total_accesses);
+    }
+    return summary;
+}
+
+std::string
+formatSummary(const TraceSummary &summary, const std::string &name)
+{
+    char buf[512];
+    std::string out;
+    std::snprintf(buf, sizeof(buf), "trace %s\n", name.c_str());
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  records            %llu (%.1f%% writes)\n",
+                  static_cast<unsigned long long>(summary.records),
+                  summary.writeRatio() * 100.0);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  instructions       %llu\n",
+                  static_cast<unsigned long long>(summary.instructions));
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf), "  device accesses    %llu over %llu pages\n",
+        static_cast<unsigned long long>(summary.deviceAccesses),
+        static_cast<unsigned long long>(summary.uniquePages));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  lines touched/page %.1f%% (written %.1f%%)\n",
+                  summary.meanLinesTouched * 100.0,
+                  summary.meanLinesWritten * 100.0);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  hottest 10%% pages  %.1f%% of accesses\n",
+                  summary.hotTop10PctShare * 100.0);
+    out += buf;
+    out += "  touched-lines CDF  ";
+    for (std::size_t i = 0; i < summary.touchedCdf.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%s<=%d%%:%.2f",
+                      i == 0 ? "" : " ", static_cast<int>((i + 1) * 10),
+                      summary.touchedCdf[i]);
+        out += buf;
+    }
+    out += "\n  written-lines CDF  ";
+    for (std::size_t i = 0; i < summary.writtenCdf.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%s<=%d%%:%.2f",
+                      i == 0 ? "" : " ", static_cast<int>((i + 1) * 10),
+                      summary.writtenCdf[i]);
+        out += buf;
+    }
+    out += "\n";
+    return out;
+}
+
+} // namespace skybyte

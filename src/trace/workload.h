@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Multi-threaded synthetic workload generation.
+ *
+ * The paper replays PIN-captured instruction traces of seven data-intensive
+ * applications (Table I). We do not have those traces, so each workload is
+ * reproduced as a deterministic generator that emits the same *statistical*
+ * shape: memory footprint, write ratio, LLC MPKI class, and the per-page
+ * spatial locality that Figures 5/6 characterise (see DESIGN.md §1).
+ *
+ * A trace record is "k compute instructions followed by one memory access".
+ * Generators are pull-based: the core model requests the next record for a
+ * thread when the pipeline has room, so no trace storage is needed (a
+ * binary trace file format is provided separately in trace_file.h).
+ */
+
+#ifndef SKYBYTE_TRACE_WORKLOAD_H
+#define SKYBYTE_TRACE_WORKLOAD_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace skybyte {
+
+/** One unit of work: @c computeOps ALU instructions, then one memory op. */
+struct TraceRecord
+{
+    std::uint32_t computeOps = 0;
+    bool isWrite = false;
+    Addr vaddr = 0;
+};
+
+/** Construction parameters common to all workloads. */
+struct WorkloadParams
+{
+    int numThreads = 8;
+    /** Total instructions (compute + memory) each thread executes. */
+    std::uint64_t instrPerThread = 1'000'000;
+    /** 0 selects the workload's default (1/64 of the paper's footprint). */
+    std::uint64_t footprintBytes = 0;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Abstract multi-threaded workload. All threads share one virtual address
+ * space; the shared data region is what lands in the CXL-SSD.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Bytes of shared application data (maps to the CXL-SSD). */
+    virtual std::uint64_t footprintBytes() const = 0;
+
+    /** Base virtual address of the shared data region. */
+    static constexpr Addr kDataBase = 0x4000'0000ULL;
+
+    /** Base of per-thread private regions (maps to host DRAM). */
+    static constexpr Addr kPrivateBase = 0x40'0000'0000ULL;
+
+    /** Private-region stride between threads. */
+    static constexpr Addr kPrivateStride = 64ULL * 1024 * 1024;
+
+    virtual int numThreads() const = 0;
+
+    /**
+     * Produce the next record for thread @p tid.
+     * @retval false when the thread's instruction budget is exhausted.
+     */
+    virtual bool next(int tid, TraceRecord &rec) = 0;
+
+    /** Instructions already emitted for @p tid (compute + memory). */
+    virtual std::uint64_t instructionsEmitted(int tid) const = 0;
+};
+
+/**
+ * Instantiate a workload by name: "bc", "bfs-dense", "dlrm", "radix",
+ * "srad", "tpcc", "ycsb", or the extra "uniform" microworkload.
+ * @throws std::invalid_argument for unknown names.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadParams &params);
+
+/** The seven Table I workload names, in the paper's order. */
+const std::vector<std::string> &paperWorkloadNames();
+
+/** Paper-reported characteristics, for Table I reporting. */
+struct WorkloadInfo
+{
+    std::string suite;
+    double paperFootprintGb;
+    double paperWriteRatio;
+    double paperLlcMpki;
+};
+
+/** Lookup Table I metadata for @p name. */
+const WorkloadInfo &workloadInfo(const std::string &name);
+
+} // namespace skybyte
+
+#endif // SKYBYTE_TRACE_WORKLOAD_H

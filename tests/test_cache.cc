@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache and MSHR file: hit/miss, true
+ * LRU eviction, dirty writebacks with functional values, invalidation,
+ * and MSHR capacity/coalescing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cache.h"
+
+namespace skybyte {
+namespace {
+
+Addr
+line(std::uint64_t i)
+{
+    return i * kCachelineBytes;
+}
+
+TEST(SetAssocCache, MissThenHitAfterFill)
+{
+    SetAssocCache c(4096, 4);
+    EXPECT_FALSE(c.access(line(1), false));
+    c.fill(line(1), false);
+    EXPECT_TRUE(c.access(line(1), false));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssocCache, LruEvictsOldest)
+{
+    // Single-set cache: 4 lines, 4 ways.
+    SetAssocCache c(4 * kCachelineBytes, 4);
+    ASSERT_EQ(c.numSets(), 1u);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        c.fill(line(i), false);
+    c.access(line(0), false); // refresh 0; line 1 is now LRU
+    CacheResult r = c.fill(line(10), false);
+    EXPECT_FALSE(r.writeback); // victim was clean
+    EXPECT_FALSE(c.probe(line(1)));
+    EXPECT_TRUE(c.probe(line(0)));
+}
+
+TEST(SetAssocCache, DirtyVictimWritesBackWithValue)
+{
+    SetAssocCache c(4 * kCachelineBytes, 4);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        c.fill(line(i), false);
+    c.access(line(2), true, 0xbeef);
+    c.access(line(0), false);
+    c.access(line(1), false);
+    c.access(line(3), false);
+    // line 2 is LRU and dirty.
+    CacheResult r = c.fill(line(20), false);
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimAddr, line(2));
+    EXPECT_EQ(r.victimValue, 0xbeefu);
+}
+
+TEST(SetAssocCache, WriteSetsValueReadReturnsIt)
+{
+    SetAssocCache c(4096, 4);
+    c.fill(line(5), true, 111);
+    LineValue v = 0;
+    EXPECT_TRUE(c.access(line(5), false, 0, &v));
+    EXPECT_EQ(v, 111u);
+    c.access(line(5), true, 222);
+    EXPECT_TRUE(c.access(line(5), false, 0, &v));
+    EXPECT_EQ(v, 222u);
+}
+
+TEST(SetAssocCache, FillExistingUpgradesDirty)
+{
+    SetAssocCache c(4096, 4);
+    c.fill(line(7), false);
+    CacheResult r = c.fill(line(7), true, 9);
+    EXPECT_TRUE(r.hit);
+    bool was_dirty = false;
+    EXPECT_TRUE(c.invalidate(line(7), &was_dirty));
+    EXPECT_TRUE(was_dirty);
+}
+
+TEST(SetAssocCache, InvalidateRemovesLine)
+{
+    SetAssocCache c(4096, 4);
+    c.fill(line(3), false);
+    EXPECT_TRUE(c.invalidate(line(3)));
+    EXPECT_FALSE(c.probe(line(3)));
+    EXPECT_FALSE(c.invalidate(line(3)));
+}
+
+TEST(SetAssocCache, ClearEmptiesCache)
+{
+    SetAssocCache c(4096, 4);
+    for (std::uint64_t i = 0; i < 32; ++i)
+        c.fill(line(i), true, i);
+    c.clear();
+    for (std::uint64_t i = 0; i < 32; ++i)
+        EXPECT_FALSE(c.probe(line(i)));
+}
+
+TEST(SetAssocCache, CapacityHonoured)
+{
+    // 64 lines; fill 128 distinct lines; at most 64 can remain.
+    SetAssocCache c(64 * kCachelineBytes, 8);
+    for (std::uint64_t i = 0; i < 128; ++i)
+        c.fill(line(i), false);
+    int resident = 0;
+    for (std::uint64_t i = 0; i < 128; ++i)
+        resident += c.probe(line(i)) ? 1 : 0;
+    EXPECT_LE(resident, 64);
+    EXPECT_GT(resident, 32); // hashing should spread reasonably
+}
+
+TEST(MshrFile, CapacityAndRelease)
+{
+    MshrFile m(2);
+    EXPECT_TRUE(m.allocate(line(1)));
+    EXPECT_TRUE(m.allocate(line(2)));
+    EXPECT_TRUE(m.full());
+    EXPECT_FALSE(m.allocate(line(3)));
+    m.release(line(1));
+    EXPECT_FALSE(m.full());
+    EXPECT_TRUE(m.allocate(line(3)));
+}
+
+TEST(MshrFile, NoDuplicateEntries)
+{
+    MshrFile m(4);
+    EXPECT_TRUE(m.allocate(line(1)));
+    EXPECT_TRUE(m.contains(line(1)));
+    EXPECT_FALSE(m.allocate(line(1))); // coalesce, not allocate
+    EXPECT_EQ(m.occupancy(), 1u);
+}
+
+TEST(MshrFile, ReleaseIsIdempotent)
+{
+    MshrFile m(4);
+    m.allocate(line(1));
+    m.release(line(1));
+    m.release(line(1));
+    EXPECT_EQ(m.occupancy(), 0u);
+}
+
+} // namespace
+} // namespace skybyte

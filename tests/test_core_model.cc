@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for the core model + uncore against a scripted memory backend:
+ * ROB-window stalls, MLP limited by L1 MSHRs, LLC-level coalescing,
+ * memory-bound accounting, and the coordinated context switch path
+ * (hint -> Long Delay Exception -> squash -> replay, §III-A C1-C4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/event_queue.h"
+#include "core/os.h"
+#include "cpu/core.h"
+#include "cpu/uncore.h"
+#include "trace/workload.h"
+
+namespace skybyte {
+namespace {
+
+/** Backend with programmable latency that can emit DelayHints. */
+class ScriptedBackend : public MemoryBackend
+{
+  public:
+    explicit ScriptedBackend(EventQueue &eq) : eq_(eq) {}
+
+    void
+    read(const MemRequest &req, Tick when, MemCallback cb) override
+    {
+        reads_++;
+        if (hintAll) {
+            MemResponse resp;
+            resp.kind = MemResponseKind::DelayHint;
+            resp.lineAddr = req.lineAddr;
+            eq_.schedule(when + hintLatency, [cb, resp] { cb(resp); });
+            return;
+        }
+        MemResponse resp;
+        resp.kind = MemResponseKind::Data;
+        resp.lineAddr = req.lineAddr;
+        eq_.schedule(when + dataLatency, [cb, resp] { cb(resp); });
+    }
+
+    void
+    write(const MemRequest &, Tick) override
+    {
+        writes_++;
+    }
+
+    EventQueue &eq_;
+    Tick dataLatency = nsToTicks(1000.0);
+    Tick hintLatency = nsToTicks(100.0);
+    bool hintAll = false;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+/** Fixed sequential single-thread workload: strided cold loads. */
+class StrideWorkload : public Workload
+{
+  public:
+    StrideWorkload(std::uint64_t records, std::uint32_t compute,
+                   bool writes = false)
+        : records_(records), compute_(compute), writes_(writes)
+    {}
+
+    std::string name() const override { return "stride"; }
+    std::uint64_t footprintBytes() const override { return 1 << 30; }
+    int numThreads() const override { return 1; }
+    std::uint64_t instructionsEmitted(int) const override
+    {
+        return emitted_;
+    }
+
+    bool
+    next(int, TraceRecord &rec) override
+    {
+        if (produced_ >= records_)
+            return false;
+        produced_++;
+        rec.computeOps = compute_;
+        rec.isWrite = writes_;
+        rec.vaddr = kDataBase + produced_ * kPageBytes; // never L-cached
+        emitted_ += compute_ + 1;
+        return true;
+    }
+
+  private:
+    std::uint64_t records_;
+    std::uint32_t compute_;
+    bool writes_;
+    std::uint64_t produced_ = 0;
+    std::uint64_t emitted_ = 0;
+};
+
+struct CoreFixture
+{
+    explicit CoreFixture(std::unique_ptr<Workload> wl,
+                         PolicyConfig pol = {}, CpuConfig cpu_cfg = {})
+        : workload(std::move(wl)), backend(eq), cpu(cpu_cfg),
+          policy(pol), uncore(cpu, eq, backend), sched(pol.schedPolicy, 1)
+    {
+        core = std::make_unique<Core>(0, cpu, policy, eq, uncore);
+        core->setScheduler(&sched);
+        sched.setCores({core.get()});
+        for (int t = 0; t < workload->numThreads(); ++t) {
+            threads.push_back(std::make_unique<ThreadContext>(
+                t, workload.get()));
+            sched.addThread(threads.back().get());
+        }
+    }
+
+    void
+    run()
+    {
+        sched.start(0);
+        while (!sched.allFinished() && eq.step()) {
+        }
+    }
+
+    EventQueue eq;
+    std::unique_ptr<Workload> workload;
+    ScriptedBackend backend;
+    CpuConfig cpu;
+    PolicyConfig policy;
+    Uncore uncore;
+    CxlAwareScheduler sched;
+    std::vector<std::unique_ptr<ThreadContext>> threads;
+    std::unique_ptr<Core> core;
+};
+
+TEST(CoreModel, ExecutesAllInstructions)
+{
+    CoreFixture fx(std::make_unique<StrideWorkload>(200, 4));
+    fx.run();
+    EXPECT_TRUE(fx.sched.allFinished());
+    EXPECT_EQ(fx.core->stats().committedInstructions, 200u * 5u);
+}
+
+TEST(CoreModel, MlpIsBoundedByMshrs)
+{
+    // 200 cold loads, 1 ms latency each, 8 L1 MSHRs: runtime must be
+    // about (200/8) * latency, NOT 200 * latency (serial) and NOT one
+    // latency (infinite MLP).
+    CoreFixture fx(std::make_unique<StrideWorkload>(200, 0));
+    fx.run();
+    const double waves = 200.0 / fx.cpu.l1d.mshrs;
+    const double expected =
+        waves * static_cast<double>(fx.backend.dataLatency);
+    const auto elapsed = static_cast<double>(fx.eq.now());
+    EXPECT_GT(elapsed, expected * 0.8);
+    EXPECT_LT(elapsed, expected * 1.6);
+}
+
+TEST(CoreModel, StallsAccountedAsMemoryBound)
+{
+    CoreFixture fx(std::make_unique<StrideWorkload>(100, 1));
+    fx.run();
+    const CoreStats &st = fx.core->stats();
+    EXPECT_GT(st.memStallTicks, st.computeTicks * 10);
+}
+
+TEST(CoreModel, StoresDoNotStall)
+{
+    CoreFixture fx(std::make_unique<StrideWorkload>(500, 0, true));
+    fx.run();
+    // Stores allocate without fetching: total time is tiny.
+    EXPECT_LT(fx.eq.now(), usToTicks(50.0));
+    EXPECT_EQ(fx.backend.reads_, 0u);
+}
+
+TEST(CoreModel, DirtyEvictionsReachBackend)
+{
+    // Write more distinct lines than a shrunken hierarchy holds so the
+    // dirty data cascades L1 -> L2 -> L3 -> backend.
+    CpuConfig small;
+    small.l1d.sizeBytes = 4 * 1024;
+    small.l2.sizeBytes = 16 * 1024;
+    small.llc.sizeBytes = 64 * 1024;
+    CoreFixture fx(std::make_unique<StrideWorkload>(9000, 0, true), {},
+                   small);
+    fx.run();
+    EXPECT_GT(fx.backend.writes_, 1000u);
+}
+
+TEST(CoreModel, HintTriggersContextSwitchAndReplay)
+{
+    PolicyConfig pol;
+    pol.deviceTriggeredCtxSwitch = true;
+    auto wl = std::make_unique<StrideWorkload>(50, 2);
+    CoreFixture fx(std::move(wl), pol);
+    fx.backend.hintAll = true;
+
+    // Drive manually: with every read hinted and a single thread, the
+    // scheduler hands the same thread back; each hinted record replays
+    // and hints again, so the run would never end. Step a bounded time
+    // and check the switch machinery engaged.
+    fx.sched.start(0);
+    const Tick limit = usToTicks(200.0);
+    while (fx.eq.now() < limit && fx.eq.step()) {
+    }
+    EXPECT_GT(fx.core->stats().contextSwitches, 10u);
+    EXPECT_GT(fx.core->stats().squashedRecords, 0u);
+    EXPECT_GT(fx.core->stats().ctxSwitchTicks, 0u);
+    // Each hinted access re-issues after resume (C4): reads exceed
+    // context switches.
+    EXPECT_GE(fx.backend.reads_, fx.core->stats().contextSwitches);
+}
+
+TEST(CoreModel, NoSwitchesWhenPolicyDisabled)
+{
+    PolicyConfig pol;
+    pol.deviceTriggeredCtxSwitch = false;
+    CoreFixture fx(std::make_unique<StrideWorkload>(50, 2), pol);
+    fx.run();
+    EXPECT_EQ(fx.core->stats().contextSwitches, 0u);
+}
+
+TEST(CoreModel, CoalescedMissesCompleteTogether)
+{
+    // Two loads to the same line: one backend read, both complete.
+    class SameLine : public Workload
+    {
+      public:
+        std::string name() const override { return "same"; }
+        std::uint64_t footprintBytes() const override { return 1 << 20; }
+        int numThreads() const override { return 1; }
+        std::uint64_t instructionsEmitted(int) const override
+        {
+            return n_;
+        }
+        bool
+        next(int, TraceRecord &rec) override
+        {
+            if (n_ >= 2)
+                return false;
+            n_++;
+            rec = {0, false, kDataBase};
+            return true;
+        }
+
+      private:
+        std::uint64_t n_ = 0;
+    };
+    CoreFixture fx(std::make_unique<SameLine>());
+    fx.run();
+    EXPECT_EQ(fx.backend.reads_, 1u);
+    EXPECT_EQ(fx.core->stats().committedInstructions, 2u);
+}
+
+TEST(CoreModel, PenaltyDelaysExecution)
+{
+    auto wl = std::make_unique<StrideWorkload>(10, 0);
+    CoreFixture fast(std::move(wl));
+    fast.run();
+    const Tick base_time = fast.eq.now();
+
+    auto wl2 = std::make_unique<StrideWorkload>(10, 0);
+    CoreFixture slow(std::move(wl2));
+    slow.core->addPenalty(usToTicks(100.0));
+    slow.run();
+    EXPECT_GE(slow.eq.now(), base_time + usToTicks(100.0) / 2);
+}
+
+TEST(CoreModel, MultiThreadSharesCore)
+{
+    // Two threads on one core, no switching: the second runs after the
+    // first finishes.
+    class TwoThreads : public Workload
+    {
+      public:
+        std::string name() const override { return "two"; }
+        std::uint64_t footprintBytes() const override { return 1 << 20; }
+        int numThreads() const override { return 2; }
+        std::uint64_t instructionsEmitted(int t) const override
+        {
+            return n_[t];
+        }
+        bool
+        next(int t, TraceRecord &rec) override
+        {
+            if (n_[t] >= 20)
+                return false;
+            rec = {3, false,
+                   kDataBase + (n_[t] + (t ? 1000u : 0u)) * kPageBytes};
+            n_[t] += 4;
+            return true;
+        }
+
+      private:
+        std::uint64_t n_[2] = {0, 0};
+    };
+    CoreFixture fx(std::make_unique<TwoThreads>());
+    fx.run();
+    EXPECT_TRUE(fx.sched.allFinished());
+    EXPECT_TRUE(fx.threads[0]->finished());
+    EXPECT_TRUE(fx.threads[1]->finished());
+}
+
+} // namespace
+} // namespace skybyte

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the Figure 8 NDR flit codec and the host-side transaction
+ * tag table (§III-A C1/C2): bit layout, reserved-opcode handling,
+ * valid-bit semantics, exhaustive tag round-trips, capacity
+ * back-pressure, and unknown-tag responses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cxl/ndr.h"
+
+namespace skybyte {
+namespace {
+
+TEST(NdrCodec, RoundTripsEveryDefinedOpcode)
+{
+    for (const CxlNdrOpcode opcode :
+         {CxlNdrOpcode::Cmp, CxlNdrOpcode::CmpS, CxlNdrOpcode::CmpE,
+          CxlNdrOpcode::BiConflictAck, CxlNdrOpcode::SkyByteDelay}) {
+        NdrMessage msg;
+        msg.valid = true;
+        msg.opcode = opcode;
+        msg.tag = 0xbeef;
+        const auto decoded = decodeNdr(encodeNdr(msg));
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(decoded->opcode, opcode);
+        EXPECT_EQ(decoded->tag, 0xbeef);
+        EXPECT_TRUE(decoded->valid);
+    }
+}
+
+TEST(NdrCodec, BitLayoutMatchesFigure8)
+{
+    NdrMessage msg;
+    msg.valid = true;
+    msg.opcode = CxlNdrOpcode::SkyByteDelay; // 0b111
+    msg.tag = 0x1234;
+    const NdrFlit flit = encodeNdr(msg);
+    EXPECT_EQ(flit & 1, 1u);                   // valid, bit 0
+    EXPECT_EQ((flit >> 1) & 0b111, 0b111u);    // opcode, bits 1..3
+    EXPECT_EQ((flit >> 4) & 0xf, 0u);          // reserved 4 bits
+    EXPECT_EQ((flit >> 8) & 0xffff, 0x1234u);  // tag, bits 8..23
+    EXPECT_EQ(flit >> 24, 0u);                 // reserved 16 bits
+    EXPECT_LT(flit, 1ULL << kNdrFlitBits);     // fits in 40 bits
+}
+
+TEST(NdrCodec, InvalidFlitDecodesToNothing)
+{
+    NdrMessage msg;
+    msg.valid = false;
+    msg.opcode = CxlNdrOpcode::Cmp;
+    msg.tag = 7;
+    EXPECT_FALSE(decodeNdr(encodeNdr(msg)).has_value());
+    EXPECT_FALSE(decodeNdr(0).has_value());
+}
+
+TEST(NdrCodec, ReservedOpcodesRejected)
+{
+    for (const std::uint8_t reserved : {0b011, 0b101, 0b110}) {
+        EXPECT_FALSE(ndrOpcodeDefined(reserved));
+        const NdrFlit flit =
+            1ULL | (static_cast<NdrFlit>(reserved) << 1);
+        EXPECT_FALSE(decodeNdr(flit).has_value());
+    }
+    EXPECT_TRUE(ndrOpcodeDefined(0b111)); // SkyByte claims this one
+}
+
+TEST(NdrCodec, StrayHighBitsRejected)
+{
+    NdrMessage msg;
+    msg.valid = true;
+    msg.tag = 1;
+    const NdrFlit flit = encodeNdr(msg) | (1ULL << kNdrFlitBits);
+    EXPECT_FALSE(decodeNdr(flit).has_value());
+}
+
+TEST(NdrCodec, TagRoundTripsExhaustively)
+{
+    // Every 256th tag plus the edges: cheap but covers both bytes.
+    for (std::uint32_t tag = 0; tag <= 0xffff; tag += 257) {
+        NdrMessage msg;
+        msg.valid = true;
+        msg.opcode = CxlNdrOpcode::SkyByteDelay;
+        msg.tag = static_cast<std::uint16_t>(tag);
+        const auto decoded = decodeNdr(encodeNdr(msg));
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(decoded->tag, tag);
+    }
+}
+
+TEST(TagTable, AllocateTrackAndComplete)
+{
+    CxlTagTable table;
+    CxlMessage req;
+    req.opcode = CxlReqOpcode::MemRd;
+    req.lineAddr = 0x1000;
+    const auto tag = table.allocate(req);
+    ASSERT_TRUE(tag.has_value());
+    EXPECT_EQ(table.outstanding(), 1u);
+    const CxlMessage *tracked = table.find(*tag);
+    ASSERT_NE(tracked, nullptr);
+    EXPECT_EQ(tracked->lineAddr, 0x1000u);
+    EXPECT_EQ(tracked->tag, *tag);
+
+    const auto done = table.complete(*tag);
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->lineAddr, 0x1000u);
+    EXPECT_EQ(table.outstanding(), 0u);
+    EXPECT_EQ(table.find(*tag), nullptr);
+}
+
+TEST(TagTable, TagsAreUniqueWhileOutstanding)
+{
+    CxlTagTable table(128);
+    CxlMessage req;
+    std::vector<std::uint16_t> tags;
+    for (int i = 0; i < 128; ++i) {
+        const auto tag = table.allocate(req);
+        ASSERT_TRUE(tag.has_value());
+        tags.push_back(*tag);
+    }
+    std::sort(tags.begin(), tags.end());
+    EXPECT_EQ(std::unique(tags.begin(), tags.end()), tags.end());
+}
+
+TEST(TagTable, CapacityBackPressure)
+{
+    CxlTagTable table(2);
+    CxlMessage req;
+    const auto a = table.allocate(req);
+    const auto b = table.allocate(req);
+    ASSERT_TRUE(a && b);
+    EXPECT_FALSE(table.allocate(req).has_value());
+    EXPECT_EQ(table.stats().rejectedFull, 1u);
+    // Releasing one tag frees a slot.
+    ASSERT_TRUE(table.complete(*a).has_value());
+    EXPECT_TRUE(table.allocate(req).has_value());
+}
+
+TEST(TagTable, TagReuseAfterWraparound)
+{
+    CxlTagTable table(4);
+    CxlMessage req;
+    // Churn far past the 16-bit counter: allocation must keep finding
+    // free tags even when the cursor wraps onto in-flight ones.
+    for (int i = 0; i < 70'000; ++i) {
+        const auto tag = table.allocate(req);
+        ASSERT_TRUE(tag.has_value());
+        ASSERT_TRUE(table.complete(*tag).has_value());
+    }
+    EXPECT_EQ(table.stats().allocated, 70'000u);
+    EXPECT_EQ(table.stats().completed, 70'000u);
+}
+
+TEST(TagTable, UnknownTagCounted)
+{
+    CxlTagTable table;
+    EXPECT_FALSE(table.complete(42).has_value());
+    EXPECT_EQ(table.stats().unknownTagResponses, 1u);
+}
+
+TEST(TagTable, DelayHintFindsTheBlockedRequest)
+{
+    // End-to-end C1->C2->C3 shape: the host tags a MemRd, the SSD
+    // answers with a SkyByte-Delay NDR carrying that tag, and the host
+    // resolves the tag back to the blocked request.
+    CxlTagTable table;
+    CxlMessage read;
+    read.opcode = CxlReqOpcode::MemRd;
+    read.lineAddr = 0xabcd000;
+    const auto tag = table.allocate(read);
+    ASSERT_TRUE(tag.has_value());
+
+    NdrMessage ndr;
+    ndr.valid = true;
+    ndr.opcode = CxlNdrOpcode::SkyByteDelay;
+    ndr.tag = *tag;
+    const auto wire = decodeNdr(encodeNdr(ndr));
+    ASSERT_TRUE(wire.has_value());
+    ASSERT_EQ(wire->opcode, CxlNdrOpcode::SkyByteDelay);
+
+    const auto blocked = table.complete(wire->tag);
+    ASSERT_TRUE(blocked.has_value());
+    EXPECT_EQ(blocked->lineAddr, 0xabcd000u);
+}
+
+} // namespace
+} // namespace skybyte

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: time ordering, deterministic
+ * same-tick FIFO, clamping, bounded runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.h"
+
+namespace skybyte {
+namespace {
+
+TEST(EventQueue, StartsAtZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    eq.schedule(100, [&] {
+        eq.schedule(50, [&] { fired_at = eq.now(); }); // in the past
+    });
+    eq.run();
+    EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    eq.schedule(40, [&] {
+        eq.scheduleAfter(15, [&] { fired_at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(fired_at, 55u);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 100)
+            eq.scheduleAfter(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(eq.now(), 99u);
+}
+
+TEST(EventQueue, RunRespectsLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Tick t = 0; t < 10; ++t)
+        eq.schedule(t * 10, [&] { count++; });
+    eq.run(45);
+    EXPECT_EQ(count, 5); // events at 0,10,20,30,40
+    EXPECT_EQ(eq.pending(), 5u);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    eq.schedule(99, [] {});
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+} // namespace
+} // namespace skybyte

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the §IV discussion features: data-persistence page pinning
+ * (pinned pages never promoted off the battery-backed device), NUMA
+ * support (remote sockets pay the inter-socket hop on CXL accesses,
+ * with the same context-switch threshold everywhere), and end-to-end
+ * runs with huge-page migration, banked DRAM timing, and the
+ * active/inactive reclaim policy enabled together.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/migration.h"
+#include "sim/experiment.h"
+#include "sim/system.h"
+
+namespace skybyte {
+namespace {
+
+SimConfig
+pinConfig()
+{
+    SimConfig cfg;
+    cfg.policy.promotionEnable = true;
+    cfg.policy.migration = MigrationMechanism::SkyByte;
+    cfg.policy.hotPageThreshold = 2;
+    cfg.flash.channels = 2;
+    cfg.flash.chipsPerChannel = 2;
+    cfg.flash.diesPerChip = 2;
+    cfg.flash.blocksPerPlane = 4;
+    cfg.flash.pagesPerBlock = 16;
+    cfg.ssdCache.baseCssdPrefetch = false;
+    cfg.hostMem.pinnedDeviceBytes = 4 * kPageBytes; // pages 0-3 pinned
+    return cfg;
+}
+
+TEST(Pinning, PinnedPagesAreNeverPromoted)
+{
+    SimConfig cfg = pinConfig();
+    EventQueue eq;
+    CxlLink link(eq, cfg.cxl);
+    SsdController ssd(cfg, eq, link);
+    DramModel host(eq, cfg.hostDram);
+    MigrationEngine engine(cfg, eq, ssd, host, link);
+
+    ssd.warmFill(1); // pinned page, cached and hot
+    ssd.warmFill(9); // unpinned page
+    EXPECT_TRUE(engine.onHotPage(1, 0)); // accepted-but-latched
+    EXPECT_TRUE(engine.onHotPage(9, 0));
+    eq.run();
+    EXPECT_FALSE(engine.isPromoted(1));
+    EXPECT_TRUE(engine.isPromoted(9));
+    EXPECT_EQ(engine.stats().promotions, 1u);
+}
+
+TEST(Pinning, TppAlsoRespectsPins)
+{
+    SimConfig cfg = pinConfig();
+    cfg.policy.migration = MigrationMechanism::Tpp;
+    EventQueue eq;
+    CxlLink link(eq, cfg.cxl);
+    SsdController ssd(cfg, eq, link);
+    DramModel host(eq, cfg.hostDram);
+    MigrationEngine engine(cfg, eq, ssd, host, link);
+    for (int i = 0; i < 3000; ++i) {
+        engine.onSsdAccess(2, 0); // pinned
+        engine.onSsdAccess(8, 0); // unpinned
+        eq.run();
+    }
+    EXPECT_FALSE(engine.isPromoted(2));
+    EXPECT_TRUE(engine.isPromoted(8));
+}
+
+TEST(Pinning, EndToEndPinnedRangeStaysOnDevice)
+{
+    SimConfig cfg = makeConfig("SkyByte-Full");
+    cfg.cpu.llc.sizeBytes = 1024 * 1024;
+    cfg.policy.hotPageThreshold = 8;
+    ExperimentOptions opt;
+    opt.instrPerThread = 25'000;
+    opt.footprintBytes = 16ULL * 1024 * 1024;
+    // Pin the whole footprint: no promotions can happen at all.
+    cfg.hostMem.pinnedDeviceBytes = opt.footprintBytes;
+    SimResult res = runConfig(cfg, "ycsb", opt);
+    EXPECT_EQ(res.promotions, 0u);
+
+    // Unpinned control run promotes.
+    cfg.hostMem.pinnedDeviceBytes = 0;
+    SimResult control = runConfig(cfg, "ycsb", opt);
+    EXPECT_GT(control.promotions, 0u);
+}
+
+TEST(Numa, RemoteSocketsPayTheHop)
+{
+    // All cores remote from the SSD's home socket vs all local: the
+    // remote configuration must be slower by roughly the hop cost per
+    // CXL access.
+    ExperimentOptions opt;
+    opt.instrPerThread = 20'000;
+    opt.footprintBytes = 16ULL * 1024 * 1024;
+
+    SimConfig local = makeConfig("Base-CSSD");
+    local.cpu.llc.sizeBytes = 1024 * 1024;
+    local.numa.sockets = 2;
+    local.numa.ssdHomeSocket = 0;
+
+    SimConfig remote = local;
+    remote.numa.ssdHomeSocket = 5; // no core block maps to socket 5
+
+    const SimResult local_res = runConfig(local, "uniform", opt);
+    const SimResult remote_res = runConfig(remote, "uniform", opt);
+    EXPECT_GT(remote_res.execTime, local_res.execTime);
+}
+
+TEST(Numa, SingleSocketHasNoPenalty)
+{
+    SimConfig cfg;
+    cfg.numa.sockets = 1;
+    System sys(cfg, "uniform", WorkloadParams{1, 1000, 1 << 20, 1});
+    EXPECT_EQ(sys.numaPenalty(0), 0u);
+    EXPECT_EQ(sys.numaPenalty(7), 0u);
+}
+
+TEST(Numa, SocketAssignmentIsContiguousBlocks)
+{
+    SimConfig cfg;
+    cfg.cpu.numCores = 8;
+    cfg.numa.sockets = 2;
+    cfg.numa.ssdHomeSocket = 0;
+    System sys(cfg, "uniform", WorkloadParams{1, 1000, 1 << 20, 1});
+    // Cores 0-3 on socket 0 (home, free); cores 4-7 on socket 1 (hop).
+    for (int c = 0; c < 4; ++c)
+        EXPECT_EQ(sys.numaPenalty(c), 0u) << c;
+    for (int c = 4; c < 8; ++c)
+        EXPECT_EQ(sys.numaPenalty(c), cfg.numa.interSocketLatency) << c;
+}
+
+TEST(HugePages, EndToEndRunCompletesAndMigratesRegions)
+{
+    SimConfig cfg = makeBenchConfig("SkyByte-Full");
+    cfg.hostMem.hugePageBytes = 64 * 1024; // 16-page regions
+    cfg.policy.hotPageThreshold = 8;
+    ExperimentOptions opt;
+    opt.instrPerThread = 30'000;
+    System sys(cfg, "ycsb", makeParams(cfg, opt));
+    const SimResult res = sys.run(kTickMax);
+    ASSERT_FALSE(res.timedOut);
+    EXPECT_GT(res.committedInstructions, 0u);
+    // Promotions are counted per region; every promotion moved 16
+    // pages, so the host share of traffic should be visible.
+    if (res.promotions > 0)
+        EXPECT_GT(res.hostReads + res.hostWrites, 0u);
+}
+
+TEST(HugePages, SameWorkRegardlessOfGranularity)
+{
+    ExperimentOptions opt;
+    opt.instrPerThread = 20'000;
+    std::uint64_t committed4k = 0;
+    for (const std::uint64_t huge : {std::uint64_t{0},
+                                     std::uint64_t{64 * 1024}}) {
+        SimConfig cfg = makeBenchConfig("SkyByte-Full");
+        cfg.hostMem.hugePageBytes = huge;
+        System sys(cfg, "bc", makeParams(cfg, opt));
+        const SimResult res = sys.run(kTickMax);
+        ASSERT_FALSE(res.timedOut);
+        if (huge == 0)
+            committed4k = res.committedInstructions;
+        else
+            EXPECT_EQ(res.committedInstructions, committed4k);
+    }
+}
+
+TEST(Extensions, AllSectionFourFeaturesComposeInOneRun)
+{
+    // Pinning + NUMA + huge pages + banked DRAM + active/inactive
+    // reclaim, all at once: the features must not interfere.
+    SimConfig cfg = makeBenchConfig("SkyByte-Full");
+    cfg.hostMem.pinnedDeviceBytes = 1 << 20;
+    cfg.hostMem.hugePageBytes = 64 * 1024;
+    cfg.hostMem.reclaim = ReclaimPolicy::ActiveInactive;
+    cfg.hostDram.bank = ddr5BankTiming();
+    cfg.ssdDram.bank = lpddr4BankTiming();
+    cfg.numa.sockets = 2;
+    ExperimentOptions opt;
+    opt.instrPerThread = 20'000;
+    System sys(cfg, "tpcc", makeParams(cfg, opt));
+    const SimResult res = sys.run(kTickMax);
+    ASSERT_FALSE(res.timedOut);
+    EXPECT_GT(res.committedInstructions, 0u);
+}
+
+} // namespace
+} // namespace skybyte

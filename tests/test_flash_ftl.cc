@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the flash substrate: channel timing per NAND family
+ * (Table IV), die/bus queueing, the Algorithm 1 delay estimator, FTL
+ * mapping with out-of-place updates, GC triggering and reclamation, and
+ * preconditioning (§VI-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/event_queue.h"
+#include "ssd/flash.h"
+#include "ssd/ftl.h"
+
+namespace skybyte {
+namespace {
+
+FlashConfig
+tinyFlash()
+{
+    FlashConfig cfg;
+    cfg.channels = 2;
+    cfg.chipsPerChannel = 2;
+    cfg.diesPerChip = 2;
+    cfg.blocksPerPlane = 4; // 16 blocks/channel
+    cfg.pagesPerBlock = 8;
+    return cfg;
+}
+
+TEST(FlashChannel, ReadLatencyIsCellPlusTransfer)
+{
+    EventQueue eq;
+    FlashConfig cfg = tinyFlash();
+    FlashChannel ch(0, cfg, eq);
+    Tick done = 0;
+    ch.enqueue(FlashOpKind::Read, 0, [&](Tick t) { done = t; });
+    eq.run();
+    EXPECT_EQ(done, cfg.timing.readLatency + cfg.pageTransferTime);
+}
+
+TEST(FlashChannel, NandPresetsOrdering)
+{
+    // Table IV: ULL < ULL2 < SLC < MLC read latency.
+    const Tick ull = nandTiming(NandType::ULL).readLatency;
+    const Tick ull2 = nandTiming(NandType::ULL2).readLatency;
+    const Tick slc = nandTiming(NandType::SLC).readLatency;
+    const Tick mlc = nandTiming(NandType::MLC).readLatency;
+    EXPECT_LT(ull, ull2);
+    EXPECT_LT(ull2, slc);
+    EXPECT_LT(slc, mlc);
+    EXPECT_EQ(ull, usToTicks(3.0));
+    EXPECT_EQ(nandTiming(NandType::MLC).eraseLatency, usToTicks(3000.0));
+}
+
+TEST(FlashChannel, DieParallelismOverlapsReads)
+{
+    EventQueue eq;
+    FlashConfig cfg = tinyFlash(); // 4 dies on the channel
+    FlashChannel ch(0, cfg, eq);
+    std::vector<Tick> done;
+    for (int i = 0; i < 4; ++i)
+        ch.enqueue(FlashOpKind::Read, 0, [&](Tick t) { done.push_back(t); });
+    eq.run();
+    ASSERT_EQ(done.size(), 4u);
+    // Cell reads overlap; only the bus transfers serialize.
+    const Tick serial = 4 * (cfg.timing.readLatency + cfg.pageTransferTime);
+    EXPECT_LT(done.back(), serial);
+    EXPECT_GE(done.back(),
+              cfg.timing.readLatency + 4 * cfg.pageTransferTime);
+}
+
+TEST(FlashChannel, EstimateGrowsWithQueueDepth)
+{
+    EventQueue eq;
+    FlashConfig cfg = tinyFlash();
+    FlashChannel ch(0, cfg, eq);
+    const Tick idle = ch.estimateReadDelay(0);
+    EXPECT_EQ(idle, cfg.timing.readLatency + cfg.pageTransferTime);
+    for (int i = 0; i < 16; ++i)
+        ch.enqueue(FlashOpKind::Read, 0, nullptr);
+    EXPECT_GT(ch.estimateReadDelay(0), idle);
+    EXPECT_EQ(ch.pendingReads(), 16u);
+    eq.run();
+    EXPECT_EQ(ch.pendingReads(), 0u);
+    EXPECT_EQ(ch.completedReads(), 16u);
+}
+
+TEST(FlashChannel, GcActiveFlag)
+{
+    EventQueue eq;
+    FlashConfig cfg = tinyFlash();
+    FlashChannel ch(0, cfg, eq);
+    EXPECT_FALSE(ch.gcActive());
+    ch.setGcActive(true);
+    EXPECT_TRUE(ch.gcActive());
+}
+
+TEST(Ftl, ReadMapsOnDemandAndCompletes)
+{
+    EventQueue eq;
+    Ftl ftl(tinyFlash(), eq, 1);
+    Tick done = 0;
+    ftl.readPage(5, 0, [&](Tick t) { done = t; });
+    eq.run();
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(ftl.stats().hostReads, 1u);
+}
+
+TEST(Ftl, WriteIsOutOfPlace)
+{
+    EventQueue eq;
+    Ftl ftl(tinyFlash(), eq, 1);
+    PageData data{};
+    data[0] = 42;
+    ftl.writePage(3, 0, data, nullptr);
+    ftl.writePage(3, 0, data, nullptr); // rewrite invalidates the old
+    eq.run();
+    EXPECT_EQ(ftl.stats().hostPrograms, 2u);
+    EXPECT_EQ(ftl.pageData(3)[0], 42u);
+}
+
+TEST(Ftl, FunctionalLinePeek)
+{
+    EventQueue eq;
+    Ftl ftl(tinyFlash(), eq, 1);
+    PageData data{};
+    data[7] = 1234;
+    ftl.writePage(2, 0, data, nullptr);
+    EXPECT_EQ(ftl.peekLine(2 * kPageBytes + 7 * kCachelineBytes), 1234u);
+    EXPECT_EQ(ftl.peekLine(9 * kPageBytes), 0u);
+}
+
+TEST(Ftl, GcTriggersAndReclaims)
+{
+    EventQueue eq;
+    FlashConfig cfg = tinyFlash();
+    Ftl ftl(cfg, eq, 1);
+    // Write the same small set of pages repeatedly: out-of-place updates
+    // create dead pages until GC must run.
+    PageData data{};
+    for (int round = 0; round < 60; ++round) {
+        for (std::uint64_t lpn = 0; lpn < 8; ++lpn)
+            ftl.writePage(lpn * cfg.channels, eq.now(), data, nullptr);
+        eq.run();
+    }
+    EXPECT_GT(ftl.stats().gcRuns, 0u);
+    EXPECT_GT(ftl.stats().gcErases, 0u);
+    // Device still functional and mapped.
+    Tick done = 0;
+    ftl.readPage(0, eq.now(), [&](Tick t) { done = t; });
+    eq.run();
+    EXPECT_GT(done, 0u);
+    // Free blocks recovered above zero.
+    EXPECT_GT(ftl.freeBlocks(0), 0u);
+}
+
+TEST(Ftl, PreconditionLeavesFreeBlocksNearThreshold)
+{
+    EventQueue eq;
+    FlashConfig cfg = tinyFlash();
+    Ftl ftl(cfg, eq, 1);
+    ftl.precondition(16);
+    const auto threshold = static_cast<std::uint32_t>(
+        cfg.blocksPerChannel() * cfg.gcFreeBlockThreshold);
+    for (std::uint32_t c = 0; c < cfg.channels; ++c) {
+        EXPECT_GE(ftl.freeBlocks(c), threshold);
+        EXPECT_LE(ftl.freeBlocks(c), threshold + 3);
+    }
+}
+
+TEST(Ftl, EstimatorSeesGc)
+{
+    EventQueue eq;
+    Ftl ftl(tinyFlash(), eq, 1);
+    EXPECT_FALSE(ftl.gcActiveFor(0));
+}
+
+TEST(Ftl, ChannelStriping)
+{
+    EventQueue eq;
+    FlashConfig cfg = tinyFlash();
+    Ftl ftl(cfg, eq, 1);
+    // LPN n maps to channel n % channels.
+    EXPECT_EQ(&ftl.channelOf(0), &ftl.channelOf(2));
+    EXPECT_NE(&ftl.channelOf(0), &ftl.channelOf(1));
+}
+
+} // namespace
+} // namespace skybyte

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the page-granular SSD DRAM data cache: LRU within sets,
+ * touched/dirty bitmap bookkeeping (Figures 5/6 inputs), invalidation
+ * for migration, and capacity accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/page_cache.h"
+
+namespace skybyte {
+namespace {
+
+PageData
+pageWith(LineValue v)
+{
+    PageData d{};
+    d[0] = v;
+    return d;
+}
+
+TEST(PageCache, FillThenLookup)
+{
+    PageCache pc(64 * kPageBytes, 4);
+    EXPECT_EQ(pc.lookup(9), nullptr);
+    pc.fill(9, pageWith(42));
+    CachedPage *page = pc.lookup(9);
+    ASSERT_NE(page, nullptr);
+    EXPECT_EQ(page->data[0], 42u);
+    EXPECT_EQ(pc.hits(), 1u);
+    EXPECT_EQ(pc.misses(), 1u);
+}
+
+TEST(PageCache, EvictsLruWithMetadata)
+{
+    PageCache pc(4 * kPageBytes, 4); // one set
+    for (std::uint64_t lpn = 0; lpn < 4; ++lpn)
+        pc.fill(lpn, pageWith(lpn));
+    // Touch 0..2 so page 3 is LRU; dirty it first.
+    CachedPage *p3 = pc.lookup(3);
+    p3->dirty = true;
+    p3->dirtyMask = 0x5;
+    p3->touchedMask = 0xf;
+    pc.lookup(0);
+    pc.lookup(1);
+    pc.lookup(2);
+    PageEvict ev = pc.fill(77, pageWith(7));
+    EXPECT_TRUE(ev.evicted);
+    EXPECT_EQ(ev.lpn, 3u);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(ev.dirtyMask, 0x5u);
+    EXPECT_EQ(ev.touchedMask, 0xfu);
+    EXPECT_EQ(ev.data[0], 3u);
+}
+
+TEST(PageCache, RefillingResidentPageKeepsOneCopy)
+{
+    PageCache pc(16 * kPageBytes, 4);
+    pc.fill(5, pageWith(1));
+    PageEvict ev = pc.fill(5, pageWith(2));
+    EXPECT_FALSE(ev.evicted);
+    EXPECT_EQ(pc.lookup(5)->data[0], 2u);
+    EXPECT_EQ(pc.residentPages(), 1u);
+}
+
+TEST(PageCache, InvalidateReturnsContents)
+{
+    PageCache pc(16 * kPageBytes, 4);
+    pc.fill(8, pageWith(3));
+    pc.lookup(8)->dirtyMask = 1;
+    PageEvict out;
+    EXPECT_TRUE(pc.invalidate(8, &out));
+    EXPECT_EQ(out.lpn, 8u);
+    EXPECT_EQ(out.data[0], 3u);
+    EXPECT_EQ(pc.lookup(8), nullptr);
+    EXPECT_FALSE(pc.invalidate(8));
+    EXPECT_EQ(pc.residentPages(), 0u);
+}
+
+TEST(PageCache, CapacityRespected)
+{
+    PageCache pc(32 * kPageBytes, 8);
+    for (std::uint64_t lpn = 0; lpn < 100; ++lpn)
+        pc.fill(lpn, pageWith(lpn));
+    EXPECT_LE(pc.residentPages(), pc.capacityPages());
+    EXPECT_EQ(pc.capacityPages(), 32u);
+}
+
+TEST(PageCache, ForEachVisitsResidentOnly)
+{
+    PageCache pc(16 * kPageBytes, 4);
+    pc.fill(1, pageWith(1));
+    pc.fill(2, pageWith(2));
+    pc.invalidate(1);
+    int count = 0;
+    pc.forEach([&](CachedPage &page) {
+        count++;
+        EXPECT_EQ(page.lpn, 2u);
+    });
+    EXPECT_EQ(count, 1);
+}
+
+TEST(PageCache, MinimumGeometry)
+{
+    PageCache pc(0, 16); // degenerate: clamps to at least one set
+    EXPECT_GE(pc.capacityPages(), 16u);
+    pc.fill(1, pageWith(9));
+    EXPECT_NE(pc.lookup(1), nullptr);
+}
+
+} // namespace
+} // namespace skybyte

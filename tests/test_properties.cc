@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Cross-variant property tests, parameterized over workloads: the
+ * paper's headline orderings and accounting invariants must hold for
+ * every workload at test scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/system.h"
+
+namespace skybyte {
+namespace {
+
+ExperimentOptions
+propOpts()
+{
+    ExperimentOptions opt;
+    opt.instrPerThread = 25'000;
+    opt.footprintBytes = 24ULL * 1024 * 1024;
+    return opt;
+}
+
+SimConfig
+propConfig(const std::string &variant)
+{
+    SimConfig cfg = makeConfig(variant);
+    cfg.cpu.l1d.sizeBytes = 16 * 1024;
+    cfg.cpu.l2.sizeBytes = 64 * 1024;
+    cfg.cpu.llc.sizeBytes = 1024 * 1024;
+    cfg.ssdCache.writeLogBytes = 256 * 1024;
+    cfg.ssdCache.dataCacheBytes = 1792 * 1024;
+    cfg.hostMem.promotedBytesMax = 8ULL * 1024 * 1024;
+    return cfg;
+}
+
+class PerWorkload : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    SimResult
+    run(const std::string &variant)
+    {
+        SimConfig cfg = propConfig(variant);
+        System sys(cfg, GetParam(), makeParams(cfg, propOpts()));
+        SimResult res = sys.run(usToTicks(3'000'000.0));
+        EXPECT_FALSE(res.timedOut) << variant << "/" << GetParam();
+        return res;
+    }
+};
+
+TEST_P(PerWorkload, DramOnlyIsFastest)
+{
+    const SimResult ideal = run("DRAM-Only");
+    const SimResult base = run("Base-CSSD");
+    const SimResult full = run("SkyByte-Full");
+    EXPECT_LT(ideal.execTime, base.execTime);
+    EXPECT_LE(ideal.execTime, full.execTime);
+}
+
+TEST_P(PerWorkload, FullIsNotSlowerThanBase)
+{
+    const SimResult base = run("Base-CSSD");
+    const SimResult full = run("SkyByte-Full");
+    // Allow a small tolerance for scheduling noise on compute-heavy
+    // workloads; the paper's claim is a strict win at full scale.
+    EXPECT_LT(static_cast<double>(full.execTime),
+              static_cast<double>(base.execTime) * 1.10);
+}
+
+TEST_P(PerWorkload, WriteLogNeverIncreasesFlashWriteTraffic)
+{
+    const SimResult base = run("Base-CSSD");
+    const SimResult w = run("SkyByte-W");
+    EXPECT_LE(w.flashHostPrograms, base.flashHostPrograms + 8);
+}
+
+TEST_P(PerWorkload, RequestAccountingConsistent)
+{
+    const SimResult res = run("SkyByte-Full");
+    // Every demand read is either a host read, an SSD hit, an SSD miss,
+    // or a hinted retry; total instruction count committed must match
+    // the configured budget.
+    EXPECT_GT(res.committedInstructions, 0u);
+    EXPECT_GE(res.ssdReadHits + res.ssdReadMisses + res.hostReads, 1u);
+    // AMAT components are non-negative and sum to the total.
+    EXPECT_GE(res.amatHostTicks, 0.0);
+    EXPECT_GE(res.amatFlashTicks, 0.0);
+    EXPECT_NEAR(res.amatTotalTicks,
+                res.amatHostTicks + res.amatProtocolTicks
+                    + res.amatIndexingTicks + res.amatSsdDramTicks
+                    + res.amatFlashTicks,
+                1e-6);
+}
+
+TEST_P(PerWorkload, BoundednessBucketsPositive)
+{
+    const SimResult res = run("Base-CSSD");
+    EXPECT_GT(res.memStallTicks, 0u);
+    EXPECT_GT(res.computeTicks, 0u);
+    // At CXL-SSD latencies every workload is strongly memory bound
+    // (Fig 4: 77-99.8%).
+    const double mem_share =
+        static_cast<double>(res.memStallTicks)
+        / static_cast<double>(res.memStallTicks + res.computeTicks);
+    EXPECT_GT(mem_share, 0.5);
+}
+
+TEST_P(PerWorkload, ContextSwitchingOnlyWhenEnabled)
+{
+    const SimResult base = run("Base-CSSD");
+    const SimResult c = run("SkyByte-C");
+    EXPECT_EQ(base.contextSwitches, 0u);
+    EXPECT_GT(c.contextSwitches, 0u);
+}
+
+TEST_P(PerWorkload, DeterministicAcrossRuns)
+{
+    const SimResult a = run("SkyByte-WP");
+    const SimResult b = run("SkyByte-WP");
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.flashHostPrograms, b.flashHostPrograms);
+    EXPECT_EQ(a.ssdWrites, b.ssdWrites);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PerWorkload,
+    ::testing::Values("bc", "bfs-dense", "dlrm", "radix", "srad", "tpcc",
+                      "ycsb"));
+
+} // namespace
+} // namespace skybyte

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the RNG / zipf sampler and the statistics primitives
+ * (latency and ratio histograms, geometric mean).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace skybyte {
+namespace {
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(123), b(123), c(124);
+    bool diverged = false;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t x = a.next();
+        EXPECT_EQ(x, b.next());
+        if (x != c.next())
+            diverged = true;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform)
+{
+    Rng rng(9);
+    std::array<int, 10> buckets{};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        buckets[static_cast<std::size_t>(rng.uniform() * 10)]++;
+    for (int b : buckets) {
+        EXPECT_GT(b, n / 10 * 0.9);
+        EXPECT_LT(b, n / 10 * 1.1);
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Zipf, SamplesAreInRangeAndSkewed)
+{
+    Rng rng(3);
+    ZipfSampler zipf(10000, 0.99);
+    std::uint64_t rank0 = 0, tail = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t s = zipf.sample(rng);
+        ASSERT_LT(s, 10000u);
+        if (s == 0)
+            rank0++;
+        if (s >= 5000)
+            tail++;
+    }
+    // Rank 0 should get ~1/zeta share (>>1/10000); the top half of the
+    // rank space should get only a small share.
+    EXPECT_GT(rank0, static_cast<std::uint64_t>(n) / 100);
+    EXPECT_LT(tail, static_cast<std::uint64_t>(n) / 4);
+}
+
+TEST(Zipf, LowerThetaIsLessSkewed)
+{
+    Rng r1(5), r2(5);
+    ZipfSampler strong(100000, 0.99), weak(100000, 0.5);
+    std::uint64_t strong_head = 0, weak_head = 0;
+    for (int i = 0; i < 50000; ++i) {
+        if (strong.sample(r1) < 100)
+            strong_head++;
+        if (weak.sample(r2) < 100)
+            weak_head++;
+    }
+    EXPECT_GT(strong_head, weak_head);
+}
+
+TEST(LatencyHistogram, MeanAndCount)
+{
+    LatencyHistogram h;
+    for (Tick t = 1; t <= 100; ++t)
+        h.record(t * 100);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_NEAR(h.meanTicks(), 5050.0, 1.0);
+}
+
+TEST(LatencyHistogram, PercentilesOrderedAndBracketed)
+{
+    LatencyHistogram h;
+    for (int i = 0; i < 900; ++i)
+        h.record(100); // fast bulk
+    for (int i = 0; i < 100; ++i)
+        h.record(100000); // slow tail
+    const Tick p50 = h.percentileTicks(0.5);
+    const Tick p95 = h.percentileTicks(0.95);
+    EXPECT_LE(p50, p95);
+    EXPECT_LT(p50, 200u);
+    EXPECT_GT(p95, 50000u);
+}
+
+TEST(LatencyHistogram, CdfPointsMonotone)
+{
+    LatencyHistogram h;
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        h.record(rng.below(1'000'000) + 1);
+    double prev_frac = 0.0, prev_ns = 0.0;
+    for (const auto &[ns, frac] : h.cdfPoints()) {
+        EXPECT_GE(frac, prev_frac);
+        EXPECT_GE(ns, prev_ns);
+        prev_frac = frac;
+        prev_ns = ns;
+    }
+    EXPECT_NEAR(prev_frac, 1.0, 1e-9);
+}
+
+TEST(LatencyHistogram, MergeAddsCounts)
+{
+    LatencyHistogram a, b;
+    a.record(10);
+    b.record(1000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(RatioHistogram, CdfAtThresholds)
+{
+    RatioHistogram h;
+    for (int i = 0; i < 50; ++i)
+        h.record(0.1);
+    for (int i = 0; i < 50; ++i)
+        h.record(0.9);
+    EXPECT_NEAR(h.cdfAt(0.5), 0.5, 0.02);
+    EXPECT_NEAR(h.cdfAt(1.0), 1.0, 1e-9);
+    EXPECT_NEAR(h.mean(), 0.5, 0.01);
+}
+
+TEST(RatioHistogram, ClampsOutOfRange)
+{
+    RatioHistogram h;
+    h.record(-1.0);
+    h.record(2.0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_NEAR(h.cdfAt(0.0), 0.5, 0.02);
+}
+
+TEST(GeoMean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geoMean({}), 0.0);
+    EXPECT_NEAR(geoMean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_NEAR(geoMean({1.0, 1.0, 1.0}), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace skybyte

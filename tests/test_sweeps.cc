@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Parameterized sensitivity-property sweeps (TEST_P), checking the
+ * monotonic trends behind the paper's sensitivity studies hold at test
+ * scale for every swept point: NAND families (Fig 22), write-log sizes
+ * (Figs 19/20), SSD DRAM sizes (Fig 21), context-switch thresholds
+ * (Fig 9) and thread counts (Fig 15).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/system.h"
+
+namespace skybyte {
+namespace {
+
+ExperimentOptions
+sweepOpts()
+{
+    ExperimentOptions opt;
+    opt.instrPerThread = 20'000;
+    opt.footprintBytes = 24ULL * 1024 * 1024;
+    return opt;
+}
+
+SimConfig
+sweepConfig(const std::string &variant)
+{
+    SimConfig cfg = makeConfig(variant);
+    cfg.cpu.l1d.sizeBytes = 16 * 1024;
+    cfg.cpu.l2.sizeBytes = 64 * 1024;
+    cfg.cpu.llc.sizeBytes = 1024 * 1024;
+    cfg.ssdCache.writeLogBytes = 256 * 1024;
+    cfg.ssdCache.dataCacheBytes = 1792 * 1024;
+    cfg.hostMem.promotedBytesMax = 8ULL * 1024 * 1024;
+    return cfg;
+}
+
+constexpr Tick kLimit = usToTicks(3'000'000.0);
+
+/** NAND family sweep (Fig 22 / Table IV). */
+class NandSweep : public ::testing::TestWithParam<NandType>
+{};
+
+TEST_P(NandSweep, SlowerNandNeverSpeedsUpBase)
+{
+    // ULL2 is not uniformly slower than ULL (its tProg/tBERS are
+    // faster, Table IV), so the monotonicity claim only covers SLC/MLC.
+    if (GetParam() == NandType::ULL2)
+        GTEST_SKIP() << "ULL2 trades read for program latency";
+    SimConfig ull = sweepConfig("Base-CSSD");
+    SimConfig other = sweepConfig("Base-CSSD");
+    other.flash.timing = nandTiming(GetParam());
+    System a(ull, "srad", makeParams(ull, sweepOpts()));
+    System b(other, "srad", makeParams(other, sweepOpts()));
+    const SimResult ra = a.run(kLimit);
+    const SimResult rb = b.run(kLimit);
+    ASSERT_FALSE(ra.timedOut);
+    ASSERT_FALSE(rb.timedOut);
+    EXPECT_GE(static_cast<double>(rb.execTime),
+              static_cast<double>(ra.execTime) * 0.99);
+}
+
+TEST_P(NandSweep, FullCompletesOnEveryFamily)
+{
+    SimConfig cfg = sweepConfig("SkyByte-Full");
+    cfg.flash.timing = nandTiming(GetParam());
+    System sys(cfg, "srad", makeParams(cfg, sweepOpts()));
+    const SimResult res = sys.run(kLimit);
+    EXPECT_FALSE(res.timedOut);
+    EXPECT_GT(res.committedInstructions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, NandSweep,
+                         ::testing::Values(NandType::ULL, NandType::ULL2,
+                                           NandType::SLC,
+                                           NandType::MLC));
+
+/** Write-log size sweep (Figs 19/20). */
+class LogSizeSweep : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(LogSizeSweep, RunsCompleteAndLogIsExercised)
+{
+    SimConfig cfg = sweepConfig("SkyByte-W");
+    const std::uint64_t total =
+        cfg.ssdCache.writeLogBytes + cfg.ssdCache.dataCacheBytes;
+    cfg.ssdCache.writeLogBytes = GetParam();
+    cfg.ssdCache.dataCacheBytes = total - GetParam();
+    // Enough work that dirty lines overflow the LLC and reach the SSD.
+    ExperimentOptions opt = sweepOpts();
+    opt.instrPerThread = 80'000;
+    System sys(cfg, "srad", makeParams(cfg, opt));
+    const SimResult res = sys.run(kLimit);
+    ASSERT_FALSE(res.timedOut);
+    EXPECT_GT(res.logAppends, 0u);
+    // A tiny log must compact; a huge one may never fill.
+    if (GetParam() <= 32 * 1024) {
+        EXPECT_GT(res.compactions, 0u);
+    }
+}
+
+TEST_P(LogSizeSweep, BiggerLogNeverProgramsMore)
+{
+    SimConfig small = sweepConfig("SkyByte-W");
+    const std::uint64_t total =
+        small.ssdCache.writeLogBytes + small.ssdCache.dataCacheBytes;
+    small.ssdCache.writeLogBytes = GetParam();
+    small.ssdCache.dataCacheBytes = total - GetParam();
+
+    SimConfig big = sweepConfig("SkyByte-W");
+    big.ssdCache.writeLogBytes = GetParam() * 4;
+    big.ssdCache.dataCacheBytes = total - GetParam() * 4;
+
+    ExperimentOptions opt = sweepOpts();
+    opt.instrPerThread = 80'000;
+    System a(small, "srad", makeParams(small, opt));
+    System b(big, "srad", makeParams(big, opt));
+    const SimResult rs = a.run(kLimit);
+    const SimResult rb = b.run(kLimit);
+    // Wider coalescing window: the trend is monotone at figure scale
+    // (Fig 20); adjacent points can jitter from compaction windowing,
+    // so the property only forbids a blow-up.
+    EXPECT_LE(rb.flashHostPrograms,
+              rs.flashHostPrograms + rs.flashHostPrograms / 2 + 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesBytes, LogSizeSweep,
+                         ::testing::Values(8 * 1024, 32 * 1024,
+                                           128 * 1024, 512 * 1024));
+
+/** Context-switch threshold sweep (Fig 9). */
+class ThresholdSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ThresholdSweep, TwoMicrosecondsIsNeverWorse)
+{
+    SimConfig best = sweepConfig("SkyByte-Full");
+    best.policy.csThreshold = usToTicks(2.0);
+    SimConfig other = sweepConfig("SkyByte-Full");
+    other.policy.csThreshold = usToTicks(GetParam());
+    System a(best, "bfs-dense", makeParams(best, sweepOpts()));
+    System b(other, "bfs-dense", makeParams(other, sweepOpts()));
+    const SimResult ra = a.run(kLimit);
+    const SimResult rb = b.run(kLimit);
+    ASSERT_FALSE(ra.timedOut);
+    ASSERT_FALSE(rb.timedOut);
+    // Fig 9: 2 us is the sweet spot; allow 5% noise.
+    EXPECT_LE(static_cast<double>(ra.execTime),
+              static_cast<double>(rb.execTime) * 1.05);
+    // Larger thresholds can only reduce switch counts.
+    if (GetParam() > 2.0) {
+        EXPECT_LE(rb.contextSwitches, ra.contextSwitches);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThresholdUs, ThresholdSweep,
+                         ::testing::Values(10.0, 20.0, 40.0, 80.0));
+
+/** Thread-count sweep (Fig 15). */
+class ThreadSweep : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ThreadSweep, MoreThreadsNeverHurtTotalWorkCompletion)
+{
+    SimConfig cfg = sweepConfig("SkyByte-Full");
+    ExperimentOptions opt = sweepOpts();
+    opt.threadsOverride = GetParam();
+    System sys(cfg, "bfs-dense", makeParams(cfg, opt));
+    const SimResult res = sys.run(kLimit);
+    ASSERT_FALSE(res.timedOut);
+    // Fixed total problem size: committed instructions are constant.
+    EXPECT_NEAR(static_cast<double>(res.committedInstructions),
+                static_cast<double>(opt.instrPerThread) * 8.0,
+                static_cast<double>(opt.instrPerThread));
+}
+
+TEST_P(ThreadSweep, SwitchingWithOversubscriptionBeatsBlocking)
+{
+    if (GetParam() <= 8)
+        GTEST_SKIP() << "baseline case";
+    // The Fig 15 claim restated at test scale: coordinated switching
+    // with extra threads must beat the blocking SkyByte-WP baseline at
+    // 8 threads (the figure's 1.0 reference point).
+    SimConfig blocking = sweepConfig("SkyByte-WP");
+    ExperimentOptions base_opt = sweepOpts();
+    base_opt.threadsOverride = 8;
+    base_opt.instrPerThread = 60'000;
+    SimConfig switching = sweepConfig("SkyByte-Full");
+    ExperimentOptions opt = base_opt;
+    opt.threadsOverride = GetParam();
+    System base(blocking, "bfs-dense", makeParams(blocking, base_opt));
+    System many(switching, "bfs-dense", makeParams(switching, opt));
+    const SimResult rb = base.run(kLimit);
+    const SimResult rm = many.run(kLimit);
+    if (GetParam() <= 24) {
+        EXPECT_LT(rm.execTime, rb.execTime);
+    } else {
+        // Past the sweet spot, Fig 15 itself shows regressions (dlrm):
+        // switch overhead plus migration churn from 32 threads sharing
+        // one promotion budget can cost more than the hidden flash
+        // latency. The magnitude at test scale is not a paper claim;
+        // require only that it stays in the same band.
+        EXPECT_LT(static_cast<double>(rm.execTime),
+                  static_cast<double>(rb.execTime) * 1.3);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep,
+                         ::testing::Values(8, 16, 24, 32));
+
+} // namespace
+} // namespace skybyte

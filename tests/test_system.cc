@@ -1,0 +1,152 @@
+/**
+ * @file
+ * End-to-end integration tests: whole-system runs across variants,
+ * checking completion, accounting invariants, and the paper's headline
+ * orderings at small scale (SkyByte beats Base-CSSD, DRAM-Only beats
+ * everything, write log cuts flash write traffic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/system.h"
+
+namespace skybyte {
+namespace {
+
+ExperimentOptions
+smallOpts()
+{
+    ExperimentOptions opt;
+    opt.instrPerThread = 30'000;
+    opt.footprintBytes = 32ULL * 1024 * 1024;
+    return opt;
+}
+
+/**
+ * Shrink the cache hierarchy so a 32 MB footprint behaves like the
+ * paper's 8 GB footprints against 16 MB of LLC: without this, test-sized
+ * runs never evict dirty lines to the SSD.
+ */
+SimConfig
+testConfig(const std::string &variant)
+{
+    SimConfig cfg = makeConfig(variant);
+    cfg.cpu.l1d.sizeBytes = 16 * 1024;
+    cfg.cpu.l2.sizeBytes = 64 * 1024;
+    cfg.cpu.llc.sizeBytes = 1024 * 1024;
+    cfg.ssdCache.writeLogBytes = 512 * 1024;
+    cfg.ssdCache.dataCacheBytes = 3584 * 1024;
+    cfg.hostMem.promotedBytesMax = 16ULL * 1024 * 1024;
+    return cfg;
+}
+
+SimResult
+runTestVariant(const std::string &variant, const std::string &workload,
+               const ExperimentOptions &opt)
+{
+    SimConfig cfg = testConfig(variant);
+    return runConfig(cfg, workload, opt);
+}
+
+constexpr Tick kLimit = usToTicks(2'000'000.0); // 2 s simulated
+
+TEST(SystemSmoke, DramOnlyCompletes)
+{
+    SimConfig cfg = testConfig("DRAM-Only");
+    SimResult res = runConfig(cfg, "uniform", smallOpts());
+    EXPECT_FALSE(res.timedOut);
+    EXPECT_GT(res.execTime, 0u);
+    EXPECT_GT(res.committedInstructions, 0u);
+    EXPECT_EQ(res.ssdWrites, 0u);
+    EXPECT_EQ(res.ssdReadMisses, 0u);
+}
+
+TEST(SystemSmoke, BaseCssdCompletes)
+{
+    SimResult res = runTestVariant("Base-CSSD", "uniform", smallOpts());
+    EXPECT_FALSE(res.timedOut);
+    EXPECT_GT(res.ssdReadMisses, 0u);
+    EXPECT_GT(res.ssdWrites, 0u);
+    EXPECT_GT(res.flashHostPrograms, 0u);
+}
+
+TEST(SystemSmoke, AllVariantsComplete)
+{
+    for (const auto &variant : allVariantNames()) {
+        SCOPED_TRACE(variant);
+        SimConfig cfg = testConfig(variant);
+        System sys(cfg, "uniform", makeParams(cfg, smallOpts()));
+        SimResult res = sys.run(kLimit);
+        EXPECT_FALSE(res.timedOut) << variant;
+        EXPECT_GT(res.committedInstructions, 0u) << variant;
+    }
+}
+
+TEST(SystemSmoke, AlternativeMigrationVariantsComplete)
+{
+    for (const std::string variant :
+         {"SkyByte-CT", "SkyByte-WCT", "AstriFlash-CXL"}) {
+        SCOPED_TRACE(variant);
+        SimConfig cfg = testConfig(variant);
+        System sys(cfg, "uniform", makeParams(cfg, smallOpts()));
+        SimResult res = sys.run(kLimit);
+        EXPECT_FALSE(res.timedOut) << variant;
+        EXPECT_GT(res.committedInstructions, 0u) << variant;
+    }
+}
+
+TEST(SystemOrdering, DramOnlyFastest)
+{
+    SimResult base = runTestVariant("Base-CSSD", "uniform", smallOpts());
+    SimResult ideal = runTestVariant("DRAM-Only", "uniform", smallOpts());
+    EXPECT_LT(ideal.execTime, base.execTime);
+}
+
+TEST(SystemOrdering, WriteLogCutsFlashWriteTraffic)
+{
+    SimResult base = runTestVariant("Base-CSSD", "uniform", smallOpts());
+    SimResult w = runTestVariant("SkyByte-W", "uniform", smallOpts());
+    EXPECT_LT(w.flashHostPrograms, base.flashHostPrograms);
+}
+
+TEST(SystemOrdering, FullBeatsBase)
+{
+    SimResult base = runTestVariant("Base-CSSD", "uniform", smallOpts());
+    SimResult full = runTestVariant("SkyByte-Full", "uniform", smallOpts());
+    EXPECT_LT(full.execTime, base.execTime);
+}
+
+TEST(SystemAccounting, TimeBucketsCoverExecution)
+{
+    SimResult res = runTestVariant("SkyByte-Full", "uniform", smallOpts());
+    // Per-core buckets: compute + memstall + ctxswitch + idle should not
+    // exceed cores * execTime by more than scheduling slack.
+    const double total = static_cast<double>(
+        res.computeTicks + res.memStallTicks + res.ctxSwitchTicks);
+    EXPECT_GT(total, 0.0);
+    EXPECT_GT(res.contextSwitches, 0u);
+}
+
+TEST(SystemAccounting, RequestBreakdownNonzero)
+{
+    // ycsb's zipfian skew creates hot pages, so promotions kick in and
+    // host DRAM sees traffic.
+    SimResult res = runTestVariant("SkyByte-WP", "ycsb", smallOpts());
+    EXPECT_GT(res.ssdReadHits + res.ssdReadMisses, 0u);
+    EXPECT_GT(res.hostReads + res.hostWrites, 0u);
+    EXPECT_GT(res.promotions, 0u);
+    EXPECT_GT(res.ssdWrites, 0u);
+}
+
+TEST(SystemDeterminism, SameSeedSameResult)
+{
+    SimResult a = runTestVariant("SkyByte-Full", "uniform", smallOpts());
+    SimResult b = runTestVariant("SkyByte-Full", "uniform", smallOpts());
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.committedInstructions, b.committedInstructions);
+    EXPECT_EQ(a.flashHostPrograms, b.flashHostPrograms);
+}
+
+} // namespace
+} // namespace skybyte

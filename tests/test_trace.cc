@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for the workload generators: determinism, instruction budgets,
+ * address ranges, write ratios matching Table I, locality skew, and the
+ * trace file round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/trace_file.h"
+#include "trace/workload.h"
+
+namespace skybyte {
+namespace {
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams p;
+    p.numThreads = 2;
+    p.instrPerThread = 50'000;
+    p.footprintBytes = 8ULL * 1024 * 1024;
+    p.seed = 7;
+    return p;
+}
+
+class AllWorkloads : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(AllWorkloads, RespectsInstructionBudget)
+{
+    auto wl = makeWorkload(GetParam(), smallParams());
+    TraceRecord rec;
+    while (wl->next(0, rec)) {
+    }
+    const std::uint64_t emitted = wl->instructionsEmitted(0);
+    EXPECT_GE(emitted, 50'000u - 64);
+    EXPECT_LE(emitted, 50'000u + 64);
+    EXPECT_FALSE(wl->next(0, rec)); // stays exhausted
+}
+
+TEST_P(AllWorkloads, AddressesWithinRegions)
+{
+    auto wl = makeWorkload(GetParam(), smallParams());
+    const Addr data_end =
+        Workload::kDataBase + wl->footprintBytes();
+    TraceRecord rec;
+    for (int i = 0; i < 20000 && wl->next(0, rec); ++i) {
+        const bool in_data =
+            rec.vaddr >= Workload::kDataBase && rec.vaddr < data_end;
+        const bool in_private = rec.vaddr >= Workload::kPrivateBase;
+        EXPECT_TRUE(in_data || in_private)
+            << std::hex << rec.vaddr;
+    }
+}
+
+TEST_P(AllWorkloads, DeterministicPerSeedAndThread)
+{
+    auto a = makeWorkload(GetParam(), smallParams());
+    auto b = makeWorkload(GetParam(), smallParams());
+    TraceRecord ra, rb;
+    for (int i = 0; i < 5000; ++i) {
+        const bool ok_a = a->next(1, ra);
+        const bool ok_b = b->next(1, rb);
+        ASSERT_EQ(ok_a, ok_b);
+        if (!ok_a)
+            break;
+        EXPECT_EQ(ra.vaddr, rb.vaddr);
+        EXPECT_EQ(ra.isWrite, rb.isWrite);
+        EXPECT_EQ(ra.computeOps, rb.computeOps);
+    }
+}
+
+TEST_P(AllWorkloads, ThreadsDiffer)
+{
+    auto wl = makeWorkload(GetParam(), smallParams());
+    TraceRecord r0, r1;
+    int same = 0, total = 0;
+    for (int i = 0; i < 2000; ++i) {
+        if (!wl->next(0, r0) || !wl->next(1, r1))
+            break;
+        total++;
+        same += (r0.vaddr == r1.vaddr) ? 1 : 0;
+    }
+    ASSERT_GT(total, 0);
+    EXPECT_LT(same, total); // not identical streams
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Names, AllWorkloads,
+    ::testing::Values("bc", "bfs-dense", "dlrm", "radix", "srad", "tpcc",
+                      "ycsb", "uniform"));
+
+/** Write ratios should track Table I within a few points. */
+class WriteRatio
+    : public ::testing::TestWithParam<std::pair<const char *, double>>
+{};
+
+TEST_P(WriteRatio, MatchesTableOne)
+{
+    const auto [name, expected] = GetParam();
+    WorkloadParams p = smallParams();
+    p.instrPerThread = 400'000;
+    auto wl = makeWorkload(name, p);
+    TraceRecord rec;
+    std::uint64_t writes = 0, mem_ops = 0;
+    while (wl->next(0, rec)) {
+        mem_ops++;
+        writes += rec.isWrite ? 1 : 0;
+    }
+    const double ratio = static_cast<double>(writes)
+                         / static_cast<double>(mem_ops);
+    EXPECT_NEAR(ratio, expected, 0.06) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOne, WriteRatio,
+    ::testing::Values(std::pair<const char *, double>{"bc", 0.11},
+                      std::pair<const char *, double>{"bfs-dense", 0.25},
+                      std::pair<const char *, double>{"dlrm", 0.32},
+                      std::pair<const char *, double>{"radix", 0.29},
+                      std::pair<const char *, double>{"srad", 0.24},
+                      std::pair<const char *, double>{"tpcc", 0.36},
+                      std::pair<const char *, double>{"ycsb", 0.05}));
+
+TEST(WorkloadDefaults, FootprintsAreSixtyFourthOfPaper)
+{
+    WorkloadParams p;
+    p.footprintBytes = 0; // workload default
+    for (const auto &name : paperWorkloadNames()) {
+        auto wl = makeWorkload(name, p);
+        const double expect_mb =
+            workloadInfo(name).paperFootprintGb * 1024.0 / 64.0;
+        const double got_mb =
+            static_cast<double>(wl->footprintBytes()) / (1024.0 * 1024.0);
+        EXPECT_NEAR(got_mb, expect_mb, expect_mb * 0.02) << name;
+    }
+}
+
+TEST(WorkloadLocality, YcsbIsZipfSkewed)
+{
+    WorkloadParams p = smallParams();
+    p.instrPerThread = 300'000;
+    auto wl = makeWorkload("ycsb", p);
+    std::unordered_map<std::uint64_t, std::uint64_t> page_counts;
+    TraceRecord rec;
+    std::uint64_t total = 0;
+    while (wl->next(0, rec)) {
+        if (rec.vaddr < Workload::kPrivateBase) {
+            page_counts[pageNumber(rec.vaddr)]++;
+            total++;
+        }
+    }
+    // Top 1% of touched pages should absorb a disproportionate share.
+    std::vector<std::uint64_t> counts;
+    for (const auto &[pg, c] : page_counts)
+        counts.push_back(c);
+    std::sort(counts.rbegin(), counts.rend());
+    const std::size_t top = std::max<std::size_t>(counts.size() / 100, 1);
+    std::uint64_t top_sum = 0;
+    for (std::size_t i = 0; i < top; ++i)
+        top_sum += counts[i];
+    EXPECT_GT(static_cast<double>(top_sum) / static_cast<double>(total),
+              0.10);
+}
+
+TEST(WorkloadLocality, SradWritesAreStrided)
+{
+    // srad's column-major sweep should touch many distinct pages in a
+    // short write window (the "sparse writes" SkyByte-W exploits).
+    WorkloadParams p = smallParams();
+    auto wl = makeWorkload("srad", p);
+    std::unordered_set<std::uint64_t> pages;
+    TraceRecord rec;
+    int writes = 0;
+    while (writes < 500 && wl->next(0, rec)) {
+        if (rec.isWrite && rec.vaddr < Workload::kPrivateBase) {
+            pages.insert(pageNumber(rec.vaddr));
+            writes++;
+        }
+    }
+    EXPECT_GT(pages.size(), 100u);
+}
+
+TEST(WorkloadErrors, UnknownNameThrows)
+{
+    EXPECT_THROW(makeWorkload("nope", smallParams()),
+                 std::invalid_argument);
+    EXPECT_THROW(workloadInfo("nope"), std::invalid_argument);
+}
+
+TEST(TraceFile, RoundTripPreservesRecords)
+{
+    WorkloadParams p = smallParams();
+    p.instrPerThread = 5'000;
+    auto original = makeWorkload("ycsb", p);
+    const std::string path = "/tmp/skybyte_trace_test.bin";
+    const std::uint64_t written = writeTraceFile(path, *original);
+    EXPECT_GT(written, 0u);
+
+    TraceFileWorkload replay(path);
+    EXPECT_EQ(replay.name(), "ycsb");
+    EXPECT_EQ(replay.numThreads(), 2);
+    EXPECT_EQ(replay.footprintBytes(), original->footprintBytes());
+
+    auto fresh = makeWorkload("ycsb", p);
+    TraceRecord a, b;
+    std::uint64_t records = 0;
+    while (fresh->next(0, a)) {
+        ASSERT_TRUE(replay.next(0, b));
+        EXPECT_EQ(a.vaddr, b.vaddr);
+        EXPECT_EQ(a.isWrite, b.isWrite);
+        EXPECT_EQ(a.computeOps, b.computeOps);
+        records++;
+    }
+    EXPECT_FALSE(replay.next(0, b));
+    EXPECT_GT(records, 100u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, CorruptMagicRejected)
+{
+    const std::string path = ::testing::TempDir() + "/bad_magic.skytrc";
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTATRACEFILE_________________";
+    out.close();
+    EXPECT_THROW(TraceFileWorkload{path}, std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, TruncatedFileRejected)
+{
+    WorkloadParams params;
+    params.instrPerThread = 2'000;
+    params.numThreads = 2;
+    auto wl = makeWorkload("uniform", params);
+    const std::string path = ::testing::TempDir() + "/trunc.skytrc";
+    writeTraceFile(path, *wl);
+    // Chop the file in half: the per-thread sections become short.
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+    out.close();
+    EXPECT_THROW(TraceFileWorkload{path}, std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, AbsurdLengthFieldsRejectedWithoutAllocating)
+{
+    // A header claiming 2^32-1 threads / a giant name must be rejected
+    // by the file-size bound, not by attempting the allocation.
+    const std::string path = ::testing::TempDir() + "/absurd.skytrc";
+    std::ofstream out(path, std::ios::binary);
+    const char magic[8] = {'S', 'K', 'Y', 'T', 'R', 'C', '0', '1'};
+    out.write(magic, sizeof(magic));
+    const std::uint32_t threads = 0xffffffffu;
+    const std::uint32_t name_len = 0xffffffffu;
+    const std::uint64_t footprint = 1 << 20;
+    out.write(reinterpret_cast<const char *>(&threads), 4);
+    out.write(reinterpret_cast<const char *>(&name_len), 4);
+    out.write(reinterpret_cast<const char *>(&footprint), 8);
+    out.close();
+    EXPECT_THROW(TraceFileWorkload{path}, std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, MissingFileThrows)
+{
+    EXPECT_THROW(TraceFileWorkload("/tmp/does_not_exist.skytrc"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace skybyte

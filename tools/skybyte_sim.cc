@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The command-line simulator, mirroring the original artifact's driver
+ * (appendix §E):
+ *
+ *   skybyte_sim -b baseline.config -w workload.config [-t extra.config]
+ *               [-k key=value]... [-c cores] [-f out.json] [-p] [-d] [-r]
+ *
+ *   -b/-w/-t  config files applied in order (key=value lines)
+ *   -k        inline override, e.g. -k cs_threshold=2000
+ *   -c        number of simulated cores
+ *   -f        write the result as JSON to this file
+ *   -p        print detailed runtime information (summary to stdout)
+ *   -d        run with effectively infinite host DRAM for promotions
+ *   -r        output DRAM-only performance results (ideal baseline)
+ *
+ * With no arguments it runs a demonstration configuration.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "sim/config_file.h"
+#include "sim/report.h"
+#include "sim/system.h"
+
+using namespace skybyte;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: skybyte_sim [-b cfg] [-w cfg] [-t cfg] [-k key=value]\n"
+        "                   [-c cores] [-f out.json] [-p] [-d] [-r]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExperimentSpec spec;
+    spec.config.name = "custom";
+    spec.params.numThreads = 8;
+    spec.params.instrPerThread = 100'000;
+
+    std::string out_path;
+    bool print_details = false;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    throw std::invalid_argument("missing value for "
+                                                + arg);
+                return argv[++i];
+            };
+            if (arg == "-b" || arg == "-w" || arg == "-t") {
+                applyConfigFile(next(), spec);
+            } else if (arg == "-k") {
+                applyAssignment(next(), spec);
+            } else if (arg == "-c") {
+                spec.config.cpu.numCores = std::stoi(next());
+            } else if (arg == "-f") {
+                out_path = next();
+            } else if (arg == "-p") {
+                print_details = true;
+            } else if (arg == "-d") {
+                spec.config.hostMem.promotedBytesMax = ~0ULL >> 1;
+            } else if (arg == "-r") {
+                spec.config.dramOnly = true;
+                spec.config.preconditionSsd = false;
+            } else if (arg == "-h" || arg == "--help") {
+                usage();
+                return 0;
+            } else {
+                throw std::invalid_argument("unknown option: " + arg);
+            }
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "skybyte_sim: %s\n", e.what());
+        usage();
+        return 1;
+    }
+
+    try {
+        System system(spec.config, spec.workloadName, spec.params);
+        SimResult res = system.run();
+        if (print_details)
+            printSummary(res, std::cout);
+        else
+            std::printf("%s/%s: %.3f ms, %lu instructions\n",
+                        res.variant.c_str(), res.workload.c_str(),
+                        res.execMs(),
+                        static_cast<unsigned long>(
+                            res.committedInstructions));
+        if (!out_path.empty()) {
+            writeJsonFile(res, out_path);
+            std::printf("wrote %s\n", out_path.c_str());
+        }
+        return res.timedOut ? 2 : 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "skybyte_sim: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Trace generator, standing in for the artifact's PIN capture pipeline
+ * (appendix §G "Capturing Custom Program's Traces"): renders any named
+ * synthetic workload into the binary trace file format of
+ * src/trace/trace_file.h so it can be replayed repeatedly — by
+ * skybyte_sim, by TraceFileWorkload-based experiments, or by
+ * skybyte_traceinfo for offline analysis.
+ *
+ *   skybyte_tracegen -w <workload> -o <path> [-n threads]
+ *                    [-i instr-per-thread] [-m footprint-mb] [-s seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "trace/trace_file.h"
+#include "trace/workload.h"
+
+using namespace skybyte;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: skybyte_tracegen -w <workload> -o <path> [-n threads]\n"
+        "                        [-i instr-per-thread] [-m footprint-mb]"
+        " [-s seed]\n"
+        "workloads: bc bfs-dense dlrm radix srad tpcc ycsb uniform\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_name;
+    std::string out_path;
+    WorkloadParams params;
+    params.instrPerThread = 200'000;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    throw std::invalid_argument("missing value for "
+                                                + arg);
+                return argv[++i];
+            };
+            if (arg == "-w") {
+                workload_name = next();
+            } else if (arg == "-o") {
+                out_path = next();
+            } else if (arg == "-n") {
+                params.numThreads = std::stoi(next());
+            } else if (arg == "-i") {
+                params.instrPerThread = std::stoull(next());
+            } else if (arg == "-m") {
+                params.footprintBytes =
+                    std::stoull(next()) * 1024 * 1024;
+            } else if (arg == "-s") {
+                params.seed = std::stoull(next());
+            } else {
+                usage();
+                return 2;
+            }
+        }
+        if (workload_name.empty() || out_path.empty()) {
+            usage();
+            return 2;
+        }
+        auto workload = makeWorkload(workload_name, params);
+        const std::uint64_t records =
+            writeTraceFile(out_path, *workload);
+        std::printf("wrote %llu records (%d threads, %s, %.1f MB "
+                    "footprint) to %s\n",
+                    static_cast<unsigned long long>(records),
+                    workload->numThreads(), workload->name().c_str(),
+                    static_cast<double>(workload->footprintBytes())
+                        / (1024.0 * 1024.0),
+                    out_path.c_str());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "skybyte_tracegen: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
