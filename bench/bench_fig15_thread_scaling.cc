@@ -21,21 +21,21 @@ main(int argc, char **argv)
     const ExperimentOptions opt = benchOptions(100'000);
     for (const auto &w : paperWorkloadNames()) {
         // 8 threads = SkyByte-WP (no switching benefit at 1 thread/core).
-        registerSim(w, "8", [w, opt] {
+        {
             ExperimentOptions o = opt;
             o.threadsOverride = 8;
-            return runVariant("SkyByte-WP", w, o);
-        });
+            addSweepPoint(w, "8", makeSweepPoint("SkyByte-WP", w, o));
+        }
         for (int t : kThreads) {
             if (t == 8)
                 continue;
-            registerSim(w, std::to_string(t), [w, t, opt] {
-                ExperimentOptions o = opt;
-                o.threadsOverride = t;
-                return runVariant("SkyByte-Full", w, o);
-            });
+            ExperimentOptions o = opt;
+            o.threadsOverride = t;
+            addSweepPoint(w, std::to_string(t),
+                          makeSweepPoint("SkyByte-Full", w, o));
         }
     }
+    registerSweep("fig15/thread_scaling");
     return runBenchMain(argc, argv, [] {
         printHeader("Figure 15: normalized throughput / SSD bandwidth "
                     "vs thread count (8 threads = SkyByte-WP = 1.0)");

@@ -23,17 +23,11 @@ main(int argc, char **argv)
     const ExperimentOptions opt = benchOptions(100'000);
     for (const auto &w : paperWorkloadNames()) {
         for (std::uint64_t kb : kLogKb) {
-            registerSim(w, std::to_string(kb), [w, kb, opt] {
-                SimConfig cfg = makeBenchConfig("SkyByte-Full");
-                const std::uint64_t total =
-                    cfg.ssdCache.writeLogBytes
-                    + cfg.ssdCache.dataCacheBytes;
-                cfg.ssdCache.writeLogBytes = kb * 1024;
-                cfg.ssdCache.dataCacheBytes = total - kb * 1024;
-                return runConfig(cfg, w, opt);
-            });
+            addSweepPoint(w, std::to_string(kb),
+                          logSizeSweepPoint(kb, w, opt));
         }
     }
+    registerSweep("fig19/logsize_perf");
     return runBenchMain(argc, argv, [] {
         printHeader("Figure 19: normalized execution time vs write log "
                     "size (KB; total SSD DRAM fixed; 1024 KB = default "

@@ -22,17 +22,11 @@ main(int argc, char **argv)
     const ExperimentOptions opt = benchOptions(100'000);
     for (const auto &w : paperWorkloadNames()) {
         for (std::uint64_t kb : kLogKb) {
-            registerSim(w, std::to_string(kb), [w, kb, opt] {
-                SimConfig cfg = makeBenchConfig("SkyByte-Full");
-                const std::uint64_t total =
-                    cfg.ssdCache.writeLogBytes
-                    + cfg.ssdCache.dataCacheBytes;
-                cfg.ssdCache.writeLogBytes = kb * 1024;
-                cfg.ssdCache.dataCacheBytes = total - kb * 1024;
-                return runConfig(cfg, w, opt);
-            });
+            addSweepPoint(w, std::to_string(kb),
+                          logSizeSweepPoint(kb, w, opt));
         }
     }
+    registerSweep("fig20/logsize_traffic");
     return runBenchMain(argc, argv, [] {
         printHeader("Figure 20: flash write traffic vs write log size "
                     "(pages programmed, normalized to the 16 KB log)");

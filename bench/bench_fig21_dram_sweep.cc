@@ -27,17 +27,16 @@ main(int argc, char **argv)
             for (const auto &v : kVariants) {
                 const std::string col =
                     v + "@" + std::to_string(mb) + "MB";
-                registerSim(w, col, [w, v, mb, opt] {
-                    SimConfig cfg = makeBenchConfig(v);
-                    const std::uint64_t total = mb * 1024 * 1024;
-                    cfg.ssdCache.writeLogBytes = total / 8;
-                    cfg.ssdCache.dataCacheBytes = total - total / 8;
-                    cfg.hostMem.promotedBytesMax = total * 4;
-                    return runConfig(cfg, w, opt);
-                });
+                SimConfig cfg = makeBenchConfig(v);
+                const std::uint64_t total = mb * 1024 * 1024;
+                cfg.ssdCache.writeLogBytes = total / 8;
+                cfg.ssdCache.dataCacheBytes = total - total / 8;
+                cfg.hostMem.promotedBytesMax = total * 4;
+                addSweepPoint(w, col, {std::move(cfg), w, opt});
             }
         }
     }
+    registerSweep("fig21/dram_sweep");
     return runBenchMain(argc, argv, [] {
         printHeader("Figure 21: execution time vs SSD DRAM size "
                     "(normalized to SkyByte-Full @ 8MB default)");

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Microbenchmark of the discrete-event kernel itself: events/sec of the
+ * calendar-queue EventQueue vs the seed's priority_queue kernel
+ * (LegacyEventQueue, kept verbatim for this comparison).
+ *
+ * Scenarios model the simulator's event mix:
+ *  - near:  self-rescheduling chains with cache/DRAM-scale strides
+ *           (<= 256 ticks), all inside the calendar window.
+ *  - spread: strides up to the full window (8192 ticks = 512 ns),
+ *           exercising the occupancy-bitmap skip.
+ *  - mixed: 5% flash-scale far events (~100k ticks) that overflow to
+ *           the binary heap and migrate back as the cursor advances.
+ *
+ * Each chain's callback captures 40 bytes of state — representative of
+ * the simulator's lambdas (this + a few words), which exceed libstdc++
+ * std::function's 16-byte inline buffer and so cost the seed kernel a
+ * heap allocation per schedule plus an Entry copy per step.
+ *
+ * The trailing report prints events/sec for both kernels and the
+ * speedup ratio per scenario (the PR's acceptance gate is >= 2x).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/event_queue.h"
+
+using namespace skybyte;
+
+namespace {
+
+/** Best observed events/sec, keyed by (kernel, scenario). */
+std::map<std::pair<std::string, std::string>, double> g_evps;
+
+/**
+ * One self-rescheduling chain. Copies of this struct are the scheduled
+ * callbacks; the xorshift state makes stride sequences deterministic
+ * per chain yet varied across events.
+ */
+template <typename Q>
+struct ChainEvent
+{
+    Q *eq;
+    std::uint64_t *executed;
+    std::uint64_t target;
+    Tick maxStride;
+    Tick farStride; ///< 0 = never leave the near window
+    std::uint32_t rng;
+
+    void
+    operator()()
+    {
+        if (++*executed >= target)
+            return;
+        rng ^= rng << 13;
+        rng ^= rng >> 17;
+        rng ^= rng << 5;
+        Tick d = 1 + (rng % maxStride);
+        if (farStride != 0 && rng % 100 < 5)
+            d = farStride + rng % 1024;
+        eq->scheduleAfter(d, *this);
+    }
+};
+
+/** Run @p target_events through a fresh kernel; returns events/sec. */
+template <typename Q>
+double
+runChains(std::uint64_t target_events, unsigned nchains, Tick max_stride,
+          Tick far_stride)
+{
+    Q eq;
+    std::uint64_t executed = 0;
+    for (unsigned i = 0; i < nchains; ++i) {
+        eq.schedule(i, ChainEvent<Q>{&eq, &executed, target_events,
+                                     max_stride, far_stride,
+                                     0x9e3779b9u + i});
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    while (eq.step()) {
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+    benchmark::DoNotOptimize(executed);
+    return secs > 0 ? static_cast<double>(executed) / secs : 0.0;
+}
+
+template <typename Q>
+void
+benchScenario(benchmark::State &state, const std::string &kernel,
+              const std::string &scenario, Tick max_stride,
+              Tick far_stride)
+{
+    constexpr std::uint64_t kEvents = 2'000'000;
+    constexpr unsigned kChains = 128;
+    double best = 0;
+    for (auto _ : state) {
+        const double evps =
+            runChains<Q>(kEvents, kChains, max_stride, far_stride);
+        best = std::max(best, evps);
+        state.SetItemsProcessed(state.items_processed()
+                                + static_cast<std::int64_t>(kEvents));
+    }
+    auto &slot = g_evps[{kernel, scenario}];
+    slot = std::max(slot, best);
+    state.counters["events_per_sec"] = best;
+}
+
+void
+registerScenario(const std::string &scenario, Tick max_stride,
+                 Tick far_stride)
+{
+    benchmark::RegisterBenchmark(
+        ("calendar/" + scenario).c_str(),
+        [=](benchmark::State &s) {
+            benchScenario<EventQueue>(s, "calendar", scenario,
+                                      max_stride, far_stride);
+        });
+    benchmark::RegisterBenchmark(
+        ("legacy/" + scenario).c_str(),
+        [=](benchmark::State &s) {
+            benchScenario<LegacyEventQueue>(s, "legacy", scenario,
+                                            max_stride, far_stride);
+        });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    registerScenario("near", 256, 0);
+    registerScenario("spread", EventQueue::kWindowTicks, 0);
+    registerScenario("mixed", 2048, 100'000);
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::printf("\n================================================================\n");
+    std::printf("Kernel hot path: events/sec, calendar vs seed "
+                "priority_queue kernel\n");
+    std::printf("================================================================\n");
+    std::printf("%-10s %16s %16s %10s\n", "scenario", "calendar",
+                "legacy", "speedup");
+    double log_sum = 0;
+    int n = 0;
+    bool all_pass = true;
+    for (const char *scenario : {"near", "spread", "mixed"}) {
+        const double neu = g_evps[{"calendar", scenario}];
+        const double old = g_evps[{"legacy", scenario}];
+        const double ratio = old > 0 ? neu / old : 0.0;
+        std::printf("%-10s %16.0f %16.0f %9.2fx\n", scenario, neu, old,
+                    ratio);
+        if (ratio > 0) {
+            log_sum += std::log(ratio);
+            ++n;
+        }
+        if (ratio < 2.0)
+            all_pass = false;
+    }
+    const double geomean = n > 0 ? std::exp(log_sum / n) : 0.0;
+    std::printf("%-10s %33s %9.2fx\n", "geomean", "", geomean);
+    std::printf("target: >= 2.00x per scenario — %s\n",
+                all_pass ? "PASS" : "FAIL");
+    // Nonzero exit makes the CI smoke step fail with the gate; the
+    // ratio compares two kernels in the same process, so host speed
+    // cancels out and the margin (~4x vs 2x) absorbs runner noise.
+    return all_pass ? 0 : 1;
+}

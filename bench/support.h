@@ -6,8 +6,16 @@
  * SimResults in a process-wide table, and prints the paper-style
  * rows/series after the benchmark pass.
  *
+ * Multi-point benches (the DRAM / log-size / thread-count sweeps)
+ * instead collect SweepPoints with addSweepPoint() and register one
+ * case via registerSweep(); the points then run concurrently on the
+ * runSweep() worker pool. Results land in the same (row, col) table,
+ * and are identical to a serial run (each point is seeded solely from
+ * its own config).
+ *
  * Scale knobs: SKYBYTE_BENCH_INSTR (instructions per thread at 8
- * threads), SKYBYTE_BENCH_THREADS, SKYBYTE_BENCH_FOOTPRINT_MB.
+ * threads), SKYBYTE_BENCH_THREADS, SKYBYTE_BENCH_FOOTPRINT_MB,
+ * SKYBYTE_BENCH_NTHREADS (sweep worker pool size).
  */
 
 #ifndef SKYBYTE_BENCH_SUPPORT_H
@@ -71,6 +79,92 @@ registerSim(const std::string &row, const std::string &col,
                     res.committedInstructions);
                 state.counters["flash_pgm"] = static_cast<double>(
                     res.flashHostPrograms + res.flashGcPrograms);
+            }
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+}
+
+/** Sweep points queued for this binary, with their table labels. */
+struct LabelledPoint
+{
+    std::string row;
+    std::string col;
+    SweepPoint point;
+};
+
+inline std::vector<LabelledPoint> &
+sweepPoints()
+{
+    static std::vector<LabelledPoint> points;
+    return points;
+}
+
+/** Queue one run for the pooled sweep, labelled (row, col). */
+inline void
+addSweepPoint(const std::string &row, const std::string &col,
+              SweepPoint point)
+{
+    sweepPoints().push_back({row, col, std::move(point)});
+}
+
+/**
+ * SkyByte-Full point with the SSD DRAM re-split to a @p kb KB write
+ * log, keeping total SSD DRAM (log + data cache) fixed — the shared
+ * configuration rule of the figure 19/20 log-size sweeps.
+ */
+inline SweepPoint
+logSizeSweepPoint(std::uint64_t kb, const std::string &workload,
+                  const ExperimentOptions &opt)
+{
+    SimConfig cfg = makeBenchConfig("SkyByte-Full");
+    const std::uint64_t total =
+        cfg.ssdCache.writeLogBytes + cfg.ssdCache.dataCacheBytes;
+    cfg.ssdCache.writeLogBytes = kb * 1024;
+    cfg.ssdCache.dataCacheBytes = total - kb * 1024;
+    return {std::move(cfg), workload, opt};
+}
+
+/**
+ * Register every queued point as a single google-benchmark case that
+ * executes the whole batch through runSweep() on the worker pool. The
+ * reported manual time is the summed simulated execution time, matching
+ * what the per-case registration would have reported in total.
+ */
+inline void
+registerSweep(const char *name = "sweep/all")
+{
+    benchmark::RegisterBenchmark(
+        name,
+        [](benchmark::State &state) {
+            std::vector<SweepPoint> points;
+            points.reserve(sweepPoints().size());
+            for (const LabelledPoint &lp : sweepPoints())
+                points.push_back(lp.point);
+            for (auto _ : state) {
+                const std::vector<SimResult> res = runSweep(points);
+                double sim_ms = 0;
+                std::uint64_t instr = 0;
+                std::uint64_t flash_pgm = 0;
+                for (std::size_t i = 0; i < res.size(); ++i) {
+                    const LabelledPoint &lp = sweepPoints()[i];
+                    resultAt(lp.row, lp.col) = res[i];
+                    sim_ms += res[i].execMs();
+                    instr += res[i].committedInstructions;
+                    flash_pgm += res[i].flashHostPrograms
+                                 + res[i].flashGcPrograms;
+                }
+                state.SetIterationTime(sim_ms / 1000.0);
+                state.counters["sim_exec_ms"] = sim_ms;
+                state.counters["points"] =
+                    static_cast<double>(res.size());
+                state.counters["threads"] = static_cast<double>(
+                    sweepThreads(0, points.size()));
+                state.counters["instructions"] =
+                    static_cast<double>(instr);
+                state.counters["flash_pgm"] =
+                    static_cast<double>(flash_pgm);
             }
         })
         ->Iterations(1)

@@ -6,14 +6,46 @@
  * CXL link, flash channels, and background jobs (log compaction, GC, page
  * migration) all schedule closures here. Events at the same tick execute
  * in FIFO order of scheduling, which keeps runs deterministic.
+ *
+ * Hot-path design (every simulated instruction crosses this code):
+ *
+ *  - Two-level calendar queue. Near-future events (within kWindowTicks
+ *    of the bucket cursor) live in per-tick FIFO buckets; an occupancy
+ *    bitmap lets the cursor skip empty ticks a word at a time. Far
+ *    events overflow into a binary min-heap ordered by (when, seq) and
+ *    migrate into the bucket window as the cursor advances; because the
+ *    heap pops in (when, seq) order and buckets append at the tail,
+ *    same-tick FIFO order is preserved across the two levels.
+ *  - Slab-allocated event records. Records are recycled through a
+ *    free list carved from fixed-size chunks, so the steady state does
+ *    zero allocator traffic per event.
+ *  - Small-buffer-optimized callbacks. The callable is constructed in
+ *    place inside the event record (up to kInlineBytes, which covers
+ *    every lambda the simulator schedules) instead of a heap-backed
+ *    std::function, and is never copied or moved afterwards.
+ *
+ * Regression note (seed kernel): the seed's std::priority_queue kernel
+ * copied the whole Entry — including its std::function — out of top()
+ * before pop() on every step(), adding an allocation + copy per event.
+ * The calendar kernel executes the callback in place, so the copy is
+ * structurally impossible now. LegacyEventQueue below preserves the seed
+ * implementation verbatim so bench_kernel_hotpath can measure the
+ * before/after events/sec ratio.
  */
 
 #ifndef SKYBYTE_COMMON_EVENT_QUEUE_H
 #define SKYBYTE_COMMON_EVENT_QUEUE_H
 
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -21,8 +53,117 @@
 
 namespace skybyte {
 
-/** Callback executed when an event fires. */
+/** Callback executed when an event fires (type-erased convenience). */
 using EventFn = std::function<void()>;
+
+namespace detail {
+
+/**
+ * Move-in, execute-in-place callback with small-buffer optimization.
+ * Constructed directly inside an event record and never relocated, so
+ * no move/copy machinery is needed; oversized callables (rare) fall
+ * back to a single heap cell.
+ */
+class InlineCallback
+{
+  public:
+    static constexpr std::size_t kInlineBytes = 48;
+
+    template <typename F>
+    void
+    construct(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes
+                      && alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+            invoke_ = [](InlineCallback *self) {
+                (*std::launder(reinterpret_cast<Fn *>(self->buf_)))();
+            };
+            destroy_ = [](InlineCallback *self) {
+                std::launder(reinterpret_cast<Fn *>(self->buf_))->~Fn();
+            };
+        } else {
+            auto *heap = new Fn(std::forward<F>(fn));
+            ::new (static_cast<void *>(buf_)) Fn *(heap);
+            invoke_ = [](InlineCallback *self) {
+                (**std::launder(reinterpret_cast<Fn **>(self->buf_)))();
+            };
+            destroy_ = [](InlineCallback *self) {
+                delete *std::launder(reinterpret_cast<Fn **>(self->buf_));
+            };
+        }
+    }
+
+    void invoke() { invoke_(this); }
+    void destroy() { destroy_(this); }
+
+  private:
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    void (*invoke_)(InlineCallback *);
+    void (*destroy_)(InlineCallback *);
+};
+
+/** One pending event: intrusive FIFO link + callback storage. */
+struct EventRecord
+{
+    Tick when;
+    std::uint64_t seq; ///< schedule order, tie-break across levels
+    EventRecord *next; ///< same-tick FIFO chain
+    InlineCallback cb;
+};
+
+/**
+ * Free-list slab allocator for EventRecords. Chunks are never returned
+ * to the system until reset()/destruction, so alloc/release are a
+ * pointer swap in the steady state.
+ */
+class EventSlab
+{
+  public:
+    static constexpr std::size_t kChunkRecords = 512;
+
+    EventRecord *
+    alloc()
+    {
+        if (free_ == nullptr)
+            refill();
+        EventRecord *r = free_;
+        free_ = r->next;
+        return r;
+    }
+
+    void
+    release(EventRecord *r)
+    {
+        r->next = free_;
+        free_ = r;
+    }
+
+    void
+    reset()
+    {
+        chunks_.clear();
+        free_ = nullptr;
+    }
+
+  private:
+    void
+    refill()
+    {
+        chunks_.push_back(std::make_unique<EventRecord[]>(kChunkRecords));
+        EventRecord *chunk = chunks_.back().get();
+        for (std::size_t i = kChunkRecords; i-- > 0;) {
+            chunk[i].next = free_;
+            free_ = &chunk[i];
+        }
+    }
+
+    std::vector<std::unique_ptr<EventRecord[]>> chunks_;
+    EventRecord *free_ = nullptr;
+};
+
+} // namespace detail
 
 /**
  * Time-ordered event queue with deterministic same-tick ordering.
@@ -30,7 +171,15 @@ using EventFn = std::function<void()>;
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /** Calendar window: per-tick buckets covering [base_, base_+W). */
+    static constexpr std::size_t kWindowTicks = 8192; // 512 ns
+
+    EventQueue()
+        : head_(kWindowTicks, nullptr), tail_(kWindowTicks, nullptr),
+          bitmap_(kWindowTicks / 64, 0)
+    {}
+
+    ~EventQueue() { destroyPending(); }
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -39,25 +188,36 @@ class EventQueue
     Tick now() const { return now_; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return size_; }
 
     /**
      * Schedule @p fn to run at absolute time @p when.
      * Scheduling in the past clamps to now().
      */
+    template <typename F>
     void
-    schedule(Tick when, EventFn fn)
+    schedule(Tick when, F &&fn)
     {
         if (when < now_)
             when = now_;
-        heap_.push(Entry{when, seq_++, std::move(fn)});
+        detail::EventRecord *r = slab_.alloc();
+        r->when = when;
+        r->seq = seq_++;
+        r->next = nullptr;
+        r->cb.construct(std::forward<F>(fn));
+        if (when < base_ + kWindowTicks)
+            bucketAppend(r);
+        else
+            overflowPush(r);
+        ++size_;
     }
 
     /** Schedule @p fn to run @p delay ticks from now. */
+    template <typename F>
     void
-    scheduleAfter(Tick delay, EventFn fn)
+    scheduleAfter(Tick delay, F &&fn)
     {
-        schedule(now_ + delay, std::move(fn));
+        schedule(now_ + delay, std::forward<F>(fn));
     }
 
     /**
@@ -67,9 +227,256 @@ class EventQueue
     bool
     step()
     {
+        detail::EventRecord *r = popNext();
+        if (r == nullptr)
+            return false;
+        --size_;
+        now_ = r->when;
+        r->cb.invoke();
+        // The callback ran out of the record's own storage, so the
+        // record is only recycled after the call returns.
+        r->cb.destroy();
+        slab_.release(r);
+        return true;
+    }
+
+    /**
+     * Time of the earliest pending event (kTickMax when empty). Does
+     * not mutate cursor state, so it is safe between arbitrary
+     * schedule() calls.
+     */
+    Tick
+    nextEventTime() const
+    {
+        if (size_ == 0)
+            return kTickMax;
+        const std::size_t d = scanBitmap();
+        const Tick bucket_when =
+            d < kWindowTicks ? base_ + d : kTickMax;
+        const Tick overflow_when =
+            overflow_.empty() ? kTickMax : overflow_.front()->when;
+        return std::min(bucket_when, overflow_when);
+    }
+
+    /**
+     * Run until the queue drains or @p limit ticks elapse. With a
+     * finite limit, now() afterwards is exactly @p limit even when
+     * events remain pending past it (the seed kernel only advanced the
+     * clock when the queue drained, which made back-to-back bounded
+     * runs start from inconsistent clocks).
+     */
+    void
+    run(Tick limit = kTickMax)
+    {
+        while (nextEventTime() <= limit) {
+            if (!step())
+                break;
+        }
+        if (limit != kTickMax && now_ < limit)
+            now_ = limit;
+    }
+
+    /** Drop all pending events and reset the clock (tests only). */
+    void
+    reset()
+    {
+        destroyPending();
+        std::fill(head_.begin(), head_.end(), nullptr);
+        std::fill(tail_.begin(), tail_.end(), nullptr);
+        std::fill(bitmap_.begin(), bitmap_.end(), 0);
+        overflow_.clear();
+        slab_.reset();
+        now_ = 0;
+        base_ = 0;
+        seq_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    static constexpr std::size_t kMask = kWindowTicks - 1;
+    static constexpr std::size_t kWords = kWindowTicks / 64;
+    static_assert((kWindowTicks & kMask) == 0, "window must be 2^n");
+
+    /** Min-heap order over far-future events: (when, seq) ascending. */
+    struct OverflowLater
+    {
+        bool
+        operator()(const detail::EventRecord *a,
+                   const detail::EventRecord *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    void
+    bucketAppend(detail::EventRecord *r)
+    {
+        const std::size_t idx = r->when & kMask;
+        if (head_[idx] == nullptr) {
+            head_[idx] = tail_[idx] = r;
+            bitmap_[idx >> 6] |= 1ull << (idx & 63);
+        } else {
+            tail_[idx]->next = r;
+            tail_[idx] = r;
+        }
+    }
+
+    void
+    overflowPush(detail::EventRecord *r)
+    {
+        overflow_.push_back(r);
+        std::push_heap(overflow_.begin(), overflow_.end(),
+                       OverflowLater{});
+    }
+
+    /**
+     * Offset from the cursor of the first occupied bucket, scanning the
+     * occupancy bitmap circularly; kWindowTicks when all empty.
+     */
+    std::size_t
+    scanBitmap() const
+    {
+        const std::size_t start = base_ & kMask;
+        const std::size_t word = start >> 6;
+        const std::size_t bit = start & 63;
+        const std::uint64_t first = bitmap_[word] >> bit;
+        if (first != 0)
+            return static_cast<std::size_t>(std::countr_zero(first));
+        std::size_t off = 64 - bit;
+        for (std::size_t i = 1; i < kWords; ++i) {
+            const std::uint64_t w = bitmap_[(word + i) & (kWords - 1)];
+            if (w != 0)
+                return off
+                       + static_cast<std::size_t>(std::countr_zero(w));
+            off += 64;
+        }
+        // Wrap: low bits of the starting word sit kWindowTicks-bit..
+        // kWindowTicks-1 ticks ahead of the cursor.
+        const std::uint64_t low =
+            bit == 0 ? 0 : (bitmap_[word] & ((1ull << bit) - 1));
+        if (low != 0)
+            return off + static_cast<std::size_t>(std::countr_zero(low));
+        return kWindowTicks;
+    }
+
+    /** Pull overflow events entering the window [base_, @p end). */
+    void
+    migrateUpTo(Tick end)
+    {
+        while (!overflow_.empty() && overflow_.front()->when < end) {
+            std::pop_heap(overflow_.begin(), overflow_.end(),
+                          OverflowLater{});
+            detail::EventRecord *r = overflow_.back();
+            overflow_.pop_back();
+            r->next = nullptr;
+            bucketAppend(r);
+        }
+    }
+
+    detail::EventRecord *
+    popBucket(std::size_t idx)
+    {
+        detail::EventRecord *r = head_[idx];
+        head_[idx] = r->next;
+        if (head_[idx] == nullptr) {
+            tail_[idx] = nullptr;
+            bitmap_[idx >> 6] &= ~(1ull << (idx & 63));
+        }
+        return r;
+    }
+
+    /**
+     * Detach the earliest pending event, advancing the bucket cursor.
+     * The cursor (base_) only moves here, immediately before the event
+     * executes and now_ catches up, so schedule() never observes
+     * base_ > now_ and bucket indices stay unambiguous.
+     */
+    detail::EventRecord *
+    popNext()
+    {
+        if (size_ == 0)
+            return nullptr;
+        const std::size_t d = scanBitmap();
+        if (d < kWindowTicks) {
+            // Bucketed events exist; the overflow heap only holds ticks
+            // >= base_ + kWindowTicks, so the earliest is in a bucket.
+            base_ += d;
+        } else {
+            assert(!overflow_.empty());
+            base_ = overflow_.front()->when;
+        }
+        // The window end advanced: migrate overflow events that now
+        // fall inside it before any callback can schedule at those
+        // ticks (heap pop order keeps same-tick FIFO intact).
+        migrateUpTo(base_ + kWindowTicks);
+        return popBucket(base_ & kMask);
+    }
+
+    void
+    destroyPending()
+    {
+        for (std::size_t i = 0; i < kWindowTicks; ++i) {
+            for (detail::EventRecord *r = head_[i]; r != nullptr;
+                 r = r->next) {
+                r->cb.destroy();
+            }
+        }
+        for (detail::EventRecord *r : overflow_)
+            r->cb.destroy();
+    }
+
+    std::vector<detail::EventRecord *> head_;
+    std::vector<detail::EventRecord *> tail_;
+    std::vector<std::uint64_t> bitmap_;
+    std::vector<detail::EventRecord *> overflow_;
+    detail::EventSlab slab_;
+    Tick now_ = 0;
+    Tick base_ = 0; ///< tick of the bucket cursor (<= now_ when idle)
+    std::uint64_t seq_ = 0;
+    std::size_t size_ = 0;
+};
+
+/**
+ * The seed kernel, frozen verbatim: std::priority_queue of Entry
+ * records holding std::function callbacks, with the full-Entry copy out
+ * of top() in step(). Kept only so bench_kernel_hotpath and the kernel
+ * tests can measure and pin the old behaviour; simulator code must use
+ * EventQueue.
+ */
+class LegacyEventQueue
+{
+  public:
+    LegacyEventQueue() = default;
+
+    LegacyEventQueue(const LegacyEventQueue &) = delete;
+    LegacyEventQueue &operator=(const LegacyEventQueue &) = delete;
+
+    Tick now() const { return now_; }
+    std::size_t pending() const { return heap_.size(); }
+
+    void
+    schedule(Tick when, EventFn fn)
+    {
+        if (when < now_)
+            when = now_;
+        heap_.push(Entry{when, seq_++, std::move(fn)});
+    }
+
+    void
+    scheduleAfter(Tick delay, EventFn fn)
+    {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    bool
+    step()
+    {
         if (heap_.empty())
             return false;
-        // Move the entry out before popping so the callback may schedule.
+        // Seed behaviour: copies the Entry (and its std::function) out
+        // before popping so the callback may schedule.
         Entry e = heap_.top();
         heap_.pop();
         now_ = e.when;
@@ -77,7 +484,6 @@ class EventQueue
         return true;
     }
 
-    /** Run until the queue drains or @p limit ticks elapse. */
     void
     run(Tick limit = kTickMax)
     {
@@ -89,7 +495,6 @@ class EventQueue
             now_ = limit;
     }
 
-    /** Drop all pending events and reset the clock (tests only). */
     void
     reset()
     {

@@ -49,8 +49,13 @@ MigrationEngine::route(std::uint64_t lpn, std::uint32_t line, Tick now,
         it->second.lastUse = now;
         if (is_write)
             it->second.dirtyPages.insert(lpn);
+        // Per-access recency upkeep for whichever structure the active
+        // reclaim policy consults for victims; the unused one only
+        // needs the unlink-on-demote invariant, not fresh order.
         if (cfg_.hostMem.reclaim == ReclaimPolicy::ActiveInactive)
             lists_.touch(base, now);
+        else
+            lruTouch(it->second);
         return PageHome::Host;
     }
     return PageHome::Ssd;
@@ -195,14 +200,24 @@ MigrationEngine::finishMigration(std::uint64_t base)
     eq_.schedule(t_done, [this, base, huge] {
         const Tick now = eq_.now();
         plb_.release(base);
-        PromotedRegion region;
+        auto [it, inserted] = promoted_.try_emplace(base);
+        PromotedRegion &region = it->second;
+        if (!inserted) {
+            // Defensive: re-promotion of a live base (unreachable while
+            // route()/promote() guard on promoted_). Match the seed's
+            // wholesale replacement: stale dirty pages must not leak
+            // into the fresh residency.
+            lruUnlink(region);
+            region.dirtyPages.clear();
+        }
         region.lastUse = now;
+        region.base = base;
         auto dirty = migratingDirty_.find(base);
         if (dirty != migratingDirty_.end()) {
             region.dirtyPages = std::move(dirty->second);
             migratingDirty_.erase(dirty);
         }
-        promoted_[base] = std::move(region);
+        lruInsertByLastUse(region);
         for (std::uint32_t p = 0; p < regionPages_; ++p)
             ssd_.dropMigratedPage(base + p);
         if (huge)
@@ -216,22 +231,54 @@ MigrationEngine::finishMigration(std::uint64_t base)
     });
 }
 
+void
+MigrationEngine::lruUnlink(PromotedRegion &region)
+{
+    if (region.lruPrev != nullptr)
+        region.lruPrev->lruNext = region.lruNext;
+    else if (lruHead_ == &region)
+        lruHead_ = region.lruNext;
+    if (region.lruNext != nullptr)
+        region.lruNext->lruPrev = region.lruPrev;
+    else if (lruTail_ == &region)
+        lruTail_ = region.lruPrev;
+    region.lruPrev = region.lruNext = nullptr;
+}
+
+void
+MigrationEngine::lruInsertByLastUse(PromotedRegion &region)
+{
+    // Ticks from interleaved core quanta are only nearly sorted, so
+    // find the slot by walking back from the tail; insertion after
+    // nodes with an equal lastUse keeps the tie-break deterministic
+    // (earlier-inserted region demotes first).
+    PromotedRegion *after = lruTail_;
+    while (after != nullptr && after->lastUse > region.lastUse)
+        after = after->lruPrev;
+    region.lruPrev = after;
+    region.lruNext = after != nullptr ? after->lruNext : lruHead_;
+    if (region.lruNext != nullptr)
+        region.lruNext->lruPrev = &region;
+    else
+        lruTail_ = &region;
+    if (after != nullptr)
+        after->lruNext = &region;
+    else
+        lruHead_ = &region;
+}
+
 bool
 MigrationEngine::selectVictimLru(Tick now, Tick min_idle,
                                  std::uint64_t &victim)
 {
-    auto victim_it = promoted_.end();
-    for (auto it = promoted_.begin(); it != promoted_.end(); ++it) {
-        if (victim_it == promoted_.end()
-            || it->second.lastUse < victim_it->second.lastUse) {
-            victim_it = it;
-        }
-    }
-    if (victim_it == promoted_.end())
+    // The list is kept sorted by lastUse, so the head is the exact
+    // minimum the seed found by scanning every promoted region (ties
+    // break by insertion order rather than the seed's hash order).
+    if (lruHead_ == nullptr)
         return false;
-    if (min_idle > 0 && victim_it->second.lastUse + min_idle > now)
+    if (min_idle > 0 && lruHead_->lastUse + min_idle > now)
         return false; // even the coldest region is hot: do not churn
-    victim = victim_it->first;
+    victim = lruHead_->base;
     return true;
 }
 
@@ -255,6 +302,7 @@ MigrationEngine::demoteRegion(std::uint64_t base, Tick now)
     auto it = promoted_.find(base);
     if (it == promoted_.end())
         return;
+    lruUnlink(it->second);
     // Copy the host copy back into fresh SSD pages (§III-C eviction).
     // Clean pages need no copy at all: flash still holds their data.
     for (std::uint64_t lpn : it->second.dirtyPages) {

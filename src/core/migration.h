@@ -116,13 +116,40 @@ class MigrationEngine
     const ActiveInactiveLists &reclaimLists() const { return lists_; }
 
   private:
-    /** A region resident in host DRAM. */
+    /**
+     * A region resident in host DRAM. Doubles as an intrusive node of
+     * the recency list kept sorted by lastUse (head = coldest), so LRU
+     * victim selection reads the head instead of scanning promoted_.
+     * Touches arrive with per-core instruction-cursor ticks that
+     * interleave non-monotonically across core quanta, so a touched
+     * node is re-inserted by a backward walk from the tail; the input
+     * is nearly sorted (displacement bounded by quantum interleaving),
+     * making the walk amortized O(1). Node addresses are stable:
+     * unordered_map never relocates its elements.
+     */
     struct PromotedRegion
     {
         Tick lastUse = 0;
+        std::uint64_t base = 0;
+        PromotedRegion *lruPrev = nullptr;
+        PromotedRegion *lruNext = nullptr;
         /** Pages written while promoted (need copy-back on demotion). */
         std::unordered_set<std::uint64_t> dirtyPages;
     };
+
+    /** Detach @p region from the recency list. */
+    void lruUnlink(PromotedRegion &region);
+
+    /** Insert @p region in lastUse order, walking back from the tail. */
+    void lruInsertByLastUse(PromotedRegion &region);
+
+    /** Refresh recency after updating region.lastUse. */
+    void
+    lruTouch(PromotedRegion &region)
+    {
+        lruUnlink(region);
+        lruInsertByLastUse(region);
+    }
 
     /** Begin the promotion of the region at @p base (checks done). */
     bool promote(std::uint64_t base, Tick now, Tick extra_cost);
@@ -148,7 +175,7 @@ class MigrationEngine
     /** Copy the host data of @p base back to the SSD and untrack it. */
     void demoteRegion(std::uint64_t base, Tick now);
 
-    /** Exact-LRU victim scan (ReclaimPolicy::LruScan). */
+    /** Exact-LRU victim pick (ReclaimPolicy::LruScan): list head. */
     bool selectVictimLru(Tick now, Tick min_idle, std::uint64_t &victim);
 
     std::uint64_t
@@ -186,6 +213,8 @@ class MigrationEngine
     Plb plb_;
     ActiveInactiveLists lists_;
     std::unordered_map<std::uint64_t, PromotedRegion> promoted_;
+    PromotedRegion *lruHead_ = nullptr; ///< coldest promoted region
+    PromotedRegion *lruTail_ = nullptr; ///< hottest promoted region
     /** Pages dirtied by redirected writes while their region migrates. */
     std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
         migratingDirty_;

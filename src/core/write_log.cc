@@ -84,8 +84,15 @@ WriteLogBuffer::append(Addr line_addr, LineValue value)
     entries_.push_back({line_addr, value});
     auto [it, inserted] = index_.try_emplace(
         lpa, LogPageTable{initialEntries_, maxLoad_});
+    // Incremental accounting: a new first-level entry costs 16 B plus
+    // its fresh second-level table; put() may double the table.
+    if (inserted)
+        indexBytes_ += 16;
+    const std::uint32_t cap_before = inserted ? 0 : it->second.capacity();
     const bool superseded = !inserted && it->second.get(off).has_value();
     it->second.put(off, log_off);
+    indexBytes_ +=
+        static_cast<std::uint64_t>(it->second.capacity() - cap_before) * 4;
     return superseded;
 }
 
@@ -114,12 +121,14 @@ WriteLogBuffer::invalidatePage(std::uint64_t lpa)
     if (it == index_.end())
         return 0;
     const std::uint32_t dropped = it->second.count();
+    indexBytes_ -=
+        16 + static_cast<std::uint64_t>(it->second.capacity()) * 4;
     index_.erase(it);
     return dropped;
 }
 
 std::uint64_t
-WriteLogBuffer::indexBytes() const
+WriteLogBuffer::indexBytesRecomputed() const
 {
     // 16 B per first-level entry + 4 B per allocated second-level slot.
     std::uint64_t bytes = index_.size() * 16;
@@ -133,6 +142,7 @@ WriteLogBuffer::clear()
 {
     entries_.clear();
     index_.clear();
+    indexBytes_ = 0;
 }
 
 WriteLog::WriteLog(std::uint64_t capacity_bytes,

@@ -138,8 +138,16 @@ class WriteLogBuffer
     std::optional<LineValue> valueAt(std::uint64_t lpa,
                                      std::uint32_t line_off) const;
 
-    /** Index memory per the paper's accounting (§III-B). */
-    std::uint64_t indexBytes() const;
+    /**
+     * Index memory per the paper's accounting (§III-B). Maintained
+     * incrementally on append/invalidate/clear so the per-append peak
+     * tracking in WriteLog::append stays O(1); indexBytesRecomputed()
+     * is the reference walk the property tests check against.
+     */
+    std::uint64_t indexBytes() const { return indexBytes_; }
+
+    /** O(n) recomputation of indexBytes() (tests only). */
+    std::uint64_t indexBytesRecomputed() const;
 
     /** Reset to empty (after compaction drains this buffer). */
     void clear();
@@ -156,6 +164,7 @@ class WriteLogBuffer
     double maxLoad_;
     std::vector<Entry> entries_;
     std::unordered_map<std::uint64_t, LogPageTable> index_;
+    std::uint64_t indexBytes_ = 0;
 };
 
 /**
@@ -209,6 +218,7 @@ class WriteLog
 
     const WriteLogStats &stats() const { return stats_; }
     const WriteLogBuffer &activeBuffer() const { return active_; }
+    const WriteLogBuffer &standbyBuffer() const { return standby_; }
 
     /** Combined index footprint of both buffers. */
     std::uint64_t indexBytes() const

@@ -1,6 +1,9 @@
 #include "sim/experiment.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <thread>
 
 namespace skybyte {
 
@@ -76,6 +79,68 @@ runVariant(const std::string &variant, const std::string &workload,
     SimConfig cfg = makeBenchConfig(variant);
     cfg.seed = opt.seed;
     return runConfig(cfg, workload, opt);
+}
+
+SweepPoint
+makeSweepPoint(const std::string &variant, const std::string &workload,
+               const ExperimentOptions &opt)
+{
+    SweepPoint point{makeBenchConfig(variant), workload, opt};
+    point.cfg.seed = opt.seed;
+    return point;
+}
+
+int
+sweepThreads(int nthreads, std::size_t npoints)
+{
+    if (nthreads <= 0) {
+        if (const char *s = std::getenv("SKYBYTE_BENCH_NTHREADS"))
+            nthreads = static_cast<int>(std::strtol(s, nullptr, 10));
+    }
+    if (nthreads <= 0)
+        nthreads = static_cast<int>(std::thread::hardware_concurrency());
+    if (nthreads <= 0)
+        nthreads = 1;
+    return static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(nthreads),
+                              std::max<std::size_t>(npoints, 1)));
+}
+
+std::vector<SimResult>
+runSweep(const std::vector<SweepPoint> &points, int nthreads)
+{
+    std::vector<SimResult> results(points.size());
+    if (points.empty())
+        return results;
+    const int workers = sweepThreads(nthreads, points.size());
+    if (workers == 1) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const SweepPoint &p = points[i];
+            results[i] = runConfig(p.cfg, p.workload, p.opt);
+        }
+        return results;
+    }
+    // Each worker claims the next unstarted point; every System is
+    // fully private to its run, so no cross-run synchronization is
+    // needed beyond the claim counter.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+        pool.emplace_back([&] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= points.size())
+                    return;
+                const SweepPoint &p = points[i];
+                results[i] = runConfig(p.cfg, p.workload, p.opt);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    return results;
 }
 
 } // namespace skybyte

@@ -66,6 +66,40 @@ SimResult runVariant(const std::string &variant,
 SimResult runConfig(const SimConfig &cfg, const std::string &workload,
                     const ExperimentOptions &opt);
 
+/**
+ * One point of a parameter sweep: a fully-specified, self-contained
+ * run. All randomness of a run derives from the point itself (cfg.seed
+ * and opt.seed), never from shared state.
+ */
+struct SweepPoint
+{
+    SimConfig cfg;
+    std::string workload;
+    ExperimentOptions opt;
+};
+
+/** SweepPoint mirroring runVariant (cfg.seed taken from opt.seed). */
+SweepPoint makeSweepPoint(const std::string &variant,
+                          const std::string &workload,
+                          const ExperimentOptions &opt);
+
+/**
+ * Run independent simulation points on a pool of worker threads.
+ *
+ * Results are positionally aligned with @p points. Each run is an
+ * isolated System seeded only by its point, so the output is identical
+ * to running the points serially — regardless of @p nthreads or OS
+ * scheduling.
+ *
+ * @param nthreads worker count; <= 0 reads SKYBYTE_BENCH_NTHREADS and
+ *                 falls back to the hardware concurrency
+ */
+std::vector<SimResult> runSweep(const std::vector<SweepPoint> &points,
+                                int nthreads = 0);
+
+/** Worker count runSweep will use for @p nthreads. */
+int sweepThreads(int nthreads, std::size_t npoints);
+
 } // namespace skybyte
 
 #endif // SKYBYTE_SIM_EXPERIMENT_H

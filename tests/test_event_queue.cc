@@ -1,11 +1,18 @@
 /**
  * @file
  * Unit tests for the discrete-event kernel: time ordering, deterministic
- * same-tick FIFO, clamping, bounded runs.
+ * same-tick FIFO, clamping, bounded runs, the calendar-window-to-heap
+ * overflow crossover, and order equivalence against the seed kernel
+ * (LegacyEventQueue) under randomized schedules.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/event_queue.h"
@@ -100,6 +107,152 @@ TEST(EventQueue, ResetClearsEverything)
     eq.reset();
     EXPECT_EQ(eq.now(), 0u);
     EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, BoundedRunAdvancesClockToLimit)
+{
+    // Events remain past the limit, yet the clock lands exactly on it,
+    // so back-to-back bounded runs resume from a consistent time (the
+    // seed kernel only advanced the clock when the queue drained).
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { count++; });
+    eq.schedule(500, [&] { count++; });
+    eq.run(100);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 100u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run(400); // nothing fires, clock still advances
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 400u);
+    eq.run();
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.now(), 500u);
+}
+
+TEST(EventQueue, FarEventsCrossCalendarWindowIntoHeap)
+{
+    // Events far beyond the calendar window overflow into the heap and
+    // must come back in exact time order as the cursor advances.
+    EventQueue eq;
+    std::vector<Tick> fired;
+    const Tick w = EventQueue::kWindowTicks;
+    const std::vector<Tick> whens = {
+        3,         w - 1,     w,         w + 1,    2 * w,
+        5 * w + 7, 3 * w - 2, 10 * w,    w / 2,    7,
+        w + 1,     5 * w + 7, 100 * w,   0,        w,
+    };
+    for (Tick t : whens)
+        eq.schedule(t, [&fired, &eq] { fired.push_back(eq.now()); });
+    eq.run();
+    std::vector<Tick> expected = whens;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(eq.now(), 100 * w);
+}
+
+TEST(EventQueue, SameTickFifoAcrossOverflowCrossover)
+{
+    // Same-tick events split between the heap (scheduled while the
+    // tick was out of the window) and the calendar (scheduled after the
+    // cursor advanced) must still fire in schedule order.
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick target = 4 * EventQueue::kWindowTicks + 17;
+    eq.schedule(target, [&] { order.push_back(0); }); // via heap
+    eq.schedule(target, [&] { order.push_back(1); }); // via heap
+    // An intermediate event close to the target pulls the window
+    // forward so late schedules at `target` go straight to a bucket.
+    eq.schedule(target - 5, [&] {
+        eq.schedule(target, [&] { order.push_back(2); });
+        eq.scheduleAfter(5, [&] { order.push_back(3); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, ChainsSpanningManyWindows)
+{
+    // A self-rescheduling chain with a stride larger than the window
+    // exercises the empty-window jump path on every step.
+    EventQueue eq;
+    int count = 0;
+    const Tick stride = 3 * EventQueue::kWindowTicks + 1;
+    std::function<void()> chain = [&] {
+        if (++count < 50)
+            eq.scheduleAfter(stride, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(count, 50);
+    EXPECT_EQ(eq.now(), 49 * stride);
+}
+
+TEST(EventQueue, OversizedCallbacksAndPendingDestruction)
+{
+    // Callbacks larger than the inline buffer take the heap fallback;
+    // captured resources are released both after execution and when
+    // pending events are dropped by reset().
+    auto token = std::make_shared<int>(7);
+    struct Big
+    {
+        std::shared_ptr<int> t;
+        std::uint64_t pad[8];
+    };
+    {
+        EventQueue eq;
+        int fired = 0;
+        Big big{token, {}};
+        eq.schedule(1, [big, &fired] { fired += *big.t; });
+        eq.schedule(2, [big] { (void)big; });
+        EXPECT_EQ(token.use_count(), 4); // token + local big + 2 events
+        eq.run(1);
+        EXPECT_EQ(fired, 7);
+        EXPECT_EQ(token.use_count(), 3); // executed event destroyed
+        eq.reset();
+        EXPECT_EQ(token.use_count(), 2); // dropped event destroyed
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueue, MatchesLegacyKernelOnRandomSchedules)
+{
+    // Drive the calendar kernel and the seed kernel with an identical
+    // randomized schedule (including events scheduled from callbacks)
+    // and require the exact same execution order.
+    auto drive = [](auto &eq) {
+        std::vector<std::pair<Tick, int>> log;
+        std::uint32_t rng = 0xc0ffee11u;
+        auto next = [&rng] {
+            rng ^= rng << 13;
+            rng ^= rng >> 17;
+            rng ^= rng << 5;
+            return rng;
+        };
+        int id = 0;
+        for (int i = 0; i < 512; ++i) {
+            const Tick when = next() % (3 * EventQueue::kWindowTicks);
+            const int my = id++;
+            eq.schedule(when, [&, my] {
+                log.emplace_back(eq.now(), my);
+                if (log.size() < 2000) {
+                    const Tick d = next() % 70'000; // some overflow
+                    const int child = id++;
+                    eq.scheduleAfter(d, [&, child] {
+                        log.emplace_back(eq.now(), child);
+                    });
+                }
+            });
+        }
+        eq.run();
+        return log;
+    };
+    EventQueue calendar;
+    LegacyEventQueue legacy;
+    const auto a = drive(calendar);
+    const auto b = drive(legacy);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a, b);
 }
 
 } // namespace

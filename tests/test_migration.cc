@@ -120,6 +120,33 @@ TEST(Migration, BudgetFullDemotesIdleColdest)
     EXPECT_EQ(fx.engine.stats().demotions, 1u);
 }
 
+TEST(Migration, LruVictimIsExactMinUnderNonMonotonicTouches)
+{
+    // Cores hand route() their instruction-cursor ticks, which
+    // interleave non-monotonically across quanta. The recency list is
+    // sorted by lastUse, so the demotion victim must be the region
+    // with the smallest lastUse even when it was touched *last* in
+    // call order (a move-to-back list would demote the wrong region).
+    MigFixture fx(migConfig(MigrationMechanism::SkyByte, 2));
+    fx.cachePage(0);
+    fx.cachePage(1);
+    ASSERT_TRUE(fx.engine.onHotPage(0, 0));
+    ASSERT_TRUE(fx.engine.onHotPage(1, 0));
+    fx.eq.run();
+    ASSERT_EQ(fx.engine.promotedPages(), 2u);
+    const Tick t0 = fx.eq.now();
+    // Call order: page 1 first with the LATER tick, page 0 second
+    // with the EARLIER tick. Exact LRU => page 0 is the victim.
+    fx.engine.route(1, 0, t0 + usToTicks(200.0), false);
+    fx.engine.route(0, 0, t0 + usToTicks(100.0), false);
+    fx.cachePage(2);
+    EXPECT_TRUE(fx.engine.onHotPage(
+        2, t0 + usToTicks(200.0) + usToTicks(5'000.0)));
+    EXPECT_EQ(fx.engine.stats().demotions, 1u);
+    EXPECT_FALSE(fx.engine.isPromoted(0));
+    EXPECT_TRUE(fx.engine.isPromoted(1));
+}
+
 TEST(Migration, CleanDemotionSkipsFlashProgram)
 {
     MigFixture fx(migConfig(MigrationMechanism::SkyByte, 1));

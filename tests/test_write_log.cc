@@ -213,6 +213,45 @@ TEST_P(WriteLogProperty, MatchesReferenceMap)
     }
 }
 
+TEST_P(WriteLogProperty, IncrementalIndexBytesMatchesRecomputation)
+{
+    // The per-append peak tracking reads indexBytes() on every logged
+    // write, so it is maintained incrementally; this pins it to the
+    // from-scratch walk across random append / invalidate / compaction
+    // sequences in both buffers.
+    Rng rng(GetParam() ^ 0xacc01a7ULL);
+    WriteLog log(128 * kCachelineBytes, 4, 0.75);
+    auto check = [&log] {
+        ASSERT_EQ(log.activeBuffer().indexBytes(),
+                  log.activeBuffer().indexBytesRecomputed());
+        ASSERT_EQ(log.standbyBuffer().indexBytes(),
+                  log.standbyBuffer().indexBytesRecomputed());
+        ASSERT_EQ(log.indexBytes(),
+                  log.activeBuffer().indexBytesRecomputed()
+                      + log.standbyBuffer().indexBytesRecomputed());
+    };
+    for (int i = 0; i < 6000; ++i) {
+        const std::uint64_t op = rng.below(100);
+        if (op < 80) {
+            log.append(addrOf(rng.below(24),
+                              static_cast<std::uint32_t>(rng.below(64))),
+                       rng.next());
+        } else if (op < 95) {
+            log.invalidatePage(rng.below(24));
+        } else if (log.needCompaction()) {
+            log.beginCompaction();
+            check();
+            log.finishCompaction();
+        }
+        check();
+        if (log.needCompaction() && rng.chance(0.5)) {
+            log.beginCompaction();
+            log.finishCompaction();
+            check();
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, WriteLogProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13));
 
