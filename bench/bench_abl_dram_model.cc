@@ -6,6 +6,7 @@
  * 16-18-18 for the SSD DRAM). If the end-to-end conclusions moved with
  * the DRAM model, the simplification would be unsound; this bench shows
  * they do not — flash latency dominates every CXL-SSD variant.
+ * Point grid: registry sweep "abl_dram_model".
  */
 
 #include "support.h"
@@ -13,38 +14,18 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::string> kWorkloads = {"bc", "srad", "tpcc",
-                                             "ycsb"};
-const std::vector<std::string> kVariants = {"Base-CSSD", "SkyByte-Full"};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(100'000);
-    for (const auto &w : kWorkloads) {
-        for (const auto &v : kVariants) {
-            for (const bool banked : {false, true}) {
-                const std::string col =
-                    v + (banked ? "/banked" : "/fixed");
-                registerSim(w, col, [w, v, banked, opt] {
-                    SimConfig cfg = makeBenchConfig(v);
-                    if (banked) {
-                        cfg.hostDram.bank = ddr5BankTiming();
-                        cfg.ssdDram.bank = lpddr4BankTiming();
-                    }
-                    return runConfig(cfg, w, opt);
-                });
-            }
-        }
-    }
+    registerRegistrySweep("abl_dram_model");
     return runBenchMain(argc, argv, [] {
+        const std::vector<std::string> workloads =
+            sweepAxisLabels("abl_dram_model", 0);
         printHeader("Ablation: DRAM timing model (normalized exec "
                     "time; <variant>/fixed = 1.0 per variant)");
         std::printf("%-16s%18s%18s\n", "workload", "Base banked/fixed",
                     "Full banked/fixed");
-        for (const auto &w : kWorkloads) {
+        for (const auto &w : workloads) {
             const double base_ratio =
                 static_cast<double>(
                     resultAt(w, "Base-CSSD/banked").execTime)
@@ -61,7 +42,7 @@ main(int argc, char **argv)
         printHeader("Speedup Full over Base under each DRAM model "
                     "(the headline claim must survive the model swap)");
         std::printf("%-16s%14s%14s\n", "workload", "fixed", "banked");
-        for (const auto &w : kWorkloads) {
+        for (const auto &w : workloads) {
             const double fixed =
                 static_cast<double>(
                     resultAt(w, "Base-CSSD/fixed").execTime)

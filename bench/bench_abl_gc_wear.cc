@@ -7,7 +7,8 @@
  * amplification, and the block P/E spread. An earlier GC start smooths
  * the tail (fewer requests arrive during a collection) but burns more
  * background bandwidth; wear-aware allocation should bound the P/E
- * spread at no performance cost.
+ * spread at no performance cost. Point grid: registry sweep
+ * "abl_gc_wear".
  */
 
 #include "support.h"
@@ -15,58 +16,35 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::string> kWorkloads = {"srad", "bfs-dense"};
-const std::vector<double> kThresholds = {0.10, 0.20, 0.40};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(100'000);
-    std::vector<std::string> cols;
-    for (const double threshold : kThresholds) {
-        for (const bool wear : {false, true}) {
-            char label[48];
-            std::snprintf(label, sizeof(label), "gc=%.0f%%%s",
-                          threshold * 100.0, wear ? "/wear" : "");
-            cols.emplace_back(label);
-            for (const auto &w : kWorkloads) {
-                registerSim(w, label,
-                            [w, threshold, wear, opt] {
-                    // Base-CSSD: page-granular writebacks keep the
-                    // flash programming (SkyByte's write log would
-                    // coalesce most GC pressure away — that is Fig 18).
-                    SimConfig cfg = makeBenchConfig("Base-CSSD");
-                    cfg.flash.gcFreeBlockThreshold = threshold;
-                    cfg.flash.gcRestoreThreshold = threshold + 0.05;
-                    cfg.flash.wearAwareAllocation = wear;
-                    return runConfig(cfg, w, opt);
-                });
-            }
-        }
-    }
-    return runBenchMain(argc, argv, [cols = cols] {
+    registerRegistrySweep("abl_gc_wear");
+    return runBenchMain(argc, argv, [] {
+        const std::vector<std::string> workloads =
+            sweepAxisLabels("abl_gc_wear", 0);
+        const std::vector<std::string> cols =
+            sweepAxisLabels("abl_gc_wear", 1);
         printHeader("Ablation: GC threshold x wear-aware allocation "
                     "(normalized exec time, gc=20% = 1.0 — Table II "
                     "default)");
-        printNormalized(kWorkloads, cols, "gc=20%",
+        printNormalized(workloads, cols, "gc=20%",
                         [](const SimResult &r) {
                             return static_cast<double>(r.execTime);
                         });
         printHeader("GC runs");
-        printMatrix("workload", kWorkloads, cols,
+        printMatrix("workload", workloads, cols,
                     [](const SimResult &r) {
                         return static_cast<double>(r.gcRuns);
                     },
                     "%12.0f");
         printHeader("Write amplification factor");
-        printMatrix("workload", kWorkloads, cols,
+        printMatrix("workload", workloads, cols,
                     [](const SimResult &r) {
                         return r.writeAmplification;
                     });
         printHeader("Block P/E spread (max - min erase count)");
-        printMatrix("workload", kWorkloads, cols,
+        printMatrix("workload", workloads, cols,
                     [](const SimResult &r) {
                         return static_cast<double>(r.wearSpread);
                     },

@@ -7,7 +7,7 @@
  * units and copy cold chunks too, so sparse workloads regress — the
  * trade the §IV design discussion implies. A scaled-down 64 KB region
  * column separates "coarser than 4 KB" effects from "2 MB is too big at
- * bench scale".
+ * bench scale". Point grid: registry sweep "abl_hugepage".
  */
 
 #include "support.h"
@@ -15,51 +15,23 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::string> kWorkloads = {"bc", "tpcc", "ycsb",
-                                             "radix"};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(100'000);
-    struct Mode
-    {
-        const char *label;
-        std::uint64_t hugeBytes;
-        bool promote;
-    };
-    const std::vector<Mode> modes = {
-        {"no-migration", 0, false},
-        {"4KB-pages", 0, true},
-        {"64KB-regions", 64ULL * 1024, true},
-        {"2MB-huge", 2ULL * 1024 * 1024, true},
-    };
-    for (const auto &w : kWorkloads) {
-        for (const Mode &mode : modes) {
-            registerSim(w, mode.label, [w, mode, opt] {
-                SimConfig cfg = makeBenchConfig(
-                    mode.promote ? "SkyByte-Full" : "SkyByte-W");
-                cfg.hostMem.hugePageBytes = mode.hugeBytes;
-                return runConfig(cfg, w, opt);
-            });
-        }
-    }
+    registerRegistrySweep("abl_hugepage");
     return runBenchMain(argc, argv, [] {
+        const std::vector<std::string> workloads =
+            sweepAxisLabels("abl_hugepage", 0);
+        const std::vector<std::string> cols =
+            sweepAxisLabels("abl_hugepage", 1);
         printHeader("Ablation: migration granularity (§IV huge pages; "
                     "normalized exec time, 4KB-pages = 1.0)");
-        std::vector<std::string> cols;
-        cols.reserve(4);
-        for (const char *label :
-             {"no-migration", "4KB-pages", "64KB-regions", "2MB-huge"})
-            cols.emplace_back(label);
-        printNormalized(kWorkloads, cols, "4KB-pages",
+        printNormalized(workloads, cols, "4KB-pages",
                         [](const SimResult &r) {
                             return static_cast<double>(r.execTime);
                         });
         printHeader("Promotions completed (regions)");
-        printMatrix("workload", kWorkloads, cols,
+        printMatrix("workload", workloads, cols,
                     [](const SimResult &r) {
                         return static_cast<double>(r.promotions);
                     },

@@ -4,7 +4,7 @@
  * coordinated context switch (§III-A) vs holding them until the
  * response returns. The paper enables freeing by default because held
  * entries from a switched-out thread starve the incoming thread's MLP
- * for microseconds.
+ * for microseconds. Point grid: registry sweep "abl_mshr_free".
  */
 
 #include "support.h"
@@ -12,31 +12,15 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::string> kWorkloads = {"bc", "bfs-dense", "srad",
-                                             "ycsb"};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(100'000);
-    for (const auto &w : kWorkloads) {
-        for (const bool free_mshr : {true, false}) {
-            const std::string col = free_mshr ? "free-on-squash"
-                                              : "hold-until-fill";
-            registerSim(w, col, [w, free_mshr, opt] {
-                SimConfig cfg = makeBenchConfig("SkyByte-Full");
-                cfg.cpu.freeMshrOnSquash = free_mshr;
-                return runConfig(cfg, w, opt);
-            });
-        }
-    }
+    registerRegistrySweep("abl_mshr_free");
     return runBenchMain(argc, argv, [] {
         printHeader("Ablation: MSHR handling on squash (SkyByte-Full; "
                     "normalized exec time, free-on-squash = 1.0)");
-        printNormalized(kWorkloads,
-                        {"free-on-squash", "hold-until-fill"},
+        printNormalized(sweepAxisLabels("abl_mshr_free", 0),
+                        sweepAxisLabels("abl_mshr_free", 1),
                         "free-on-squash", [](const SimResult &r) {
                             return static_cast<double>(r.execTime);
                         });

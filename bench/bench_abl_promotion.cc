@@ -6,6 +6,7 @@
  * wonders and churns the budget; too high leaves hot pages serving from
  * the SSD forever. The sweep shows a broad plateau around the default,
  * which is why the paper can leave the constant untuned per workload.
+ * Point grid: registry sweep "abl_promotion".
  */
 
 #include "support.h"
@@ -13,39 +14,23 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::string> kWorkloads = {"bc", "tpcc", "ycsb",
-                                             "bfs-dense"};
-const std::vector<std::uint32_t> kThresholds = {2, 8, 32, 128, 512};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(100'000);
-    std::vector<std::string> cols;
-    cols.reserve(kThresholds.size());
-    for (const std::uint32_t threshold : kThresholds)
-        cols.push_back("hot=" + std::to_string(threshold));
-    for (const auto &w : kWorkloads) {
-        for (std::size_t i = 0; i < kThresholds.size(); ++i) {
-            const std::uint32_t threshold = kThresholds[i];
-            registerSim(w, cols[i], [w, threshold, opt] {
-                SimConfig cfg = makeBenchConfig("SkyByte-Full");
-                cfg.policy.hotPageThreshold = threshold;
-                return runConfig(cfg, w, opt);
-            });
-        }
-    }
-    return runBenchMain(argc, argv, [cols = cols] {
+    registerRegistrySweep("abl_promotion");
+    return runBenchMain(argc, argv, [] {
+        const std::vector<std::string> workloads =
+            sweepAxisLabels("abl_promotion", 0);
+        const std::vector<std::string> cols =
+            sweepAxisLabels("abl_promotion", 1);
         printHeader("Ablation: hot-page promotion threshold sweep "
                     "(normalized exec time, hot=32 default = 1.0)");
-        printNormalized(kWorkloads, cols, "hot=32",
+        printNormalized(workloads, cols, "hot=32",
                         [](const SimResult &r) {
                             return static_cast<double>(r.execTime);
                         });
         printHeader("Promotions at each threshold");
-        printMatrix("workload", kWorkloads, cols,
+        printMatrix("workload", workloads, cols,
                     [](const SimResult &r) {
                         return static_cast<double>(r.promotions);
                     },

@@ -4,8 +4,9 @@
  * full — the exact-LRU scan vs the Linux-style active/inactive lists
  * §III-C actually cites. The two should agree on end-to-end performance
  * (both find cold pages); the lists do it without scanning every
- * promoted page, which is what makes them the deployable choice. Run
- * with a deliberately tight host budget so demotions actually happen.
+ * promoted page, which is what makes them the deployable choice. The
+ * registered sweep ("abl_reclaim") runs with a deliberately tight host
+ * budget so demotions actually happen.
  */
 
 #include "support.h"
@@ -13,43 +14,23 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::string> kWorkloads = {"bc", "tpcc", "ycsb",
-                                             "dlrm"};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(100'000);
-    for (const auto &w : kWorkloads) {
-        for (const ReclaimPolicy policy :
-             {ReclaimPolicy::LruScan, ReclaimPolicy::ActiveInactive}) {
-            const std::string col =
-                policy == ReclaimPolicy::LruScan ? "lru-scan"
-                                                 : "active-inactive";
-            registerSim(w, col, [w, policy, opt] {
-                SimConfig cfg = makeBenchConfig("SkyByte-Full");
-                // 1/32 of the default budget plus an eager promotion
-                // threshold: the hot set must overflow the host so the
-                // reclaim path actually runs.
-                cfg.hostMem.promotedBytesMax /= 32;
-                cfg.policy.hotPageThreshold = 8;
-                cfg.hostMem.reclaim = policy;
-                return runConfig(cfg, w, opt);
-            });
-        }
-    }
+    registerRegistrySweep("abl_reclaim");
     return runBenchMain(argc, argv, [] {
+        const std::vector<std::string> workloads =
+            sweepAxisLabels("abl_reclaim", 0);
+        const std::vector<std::string> cols =
+            sweepAxisLabels("abl_reclaim", 1);
         printHeader("Ablation: reclaim policy under a tight host budget"
                     " (normalized exec time, lru-scan = 1.0)");
-        printNormalized(kWorkloads, {"lru-scan", "active-inactive"},
-                        "lru-scan", [](const SimResult &r) {
+        printNormalized(workloads, cols, "lru-scan",
+                        [](const SimResult &r) {
                             return static_cast<double>(r.execTime);
                         });
         printHeader("Demotions under each policy");
-        printMatrix("workload", kWorkloads,
-                    {"lru-scan", "active-inactive"},
+        printMatrix("workload", workloads, cols,
                     [](const SimResult &r) {
                         return static_cast<double>(r.demotions);
                     },

@@ -3,7 +3,7 @@
  * Figure 2: end-to-end execution time of each workload on host DRAM vs a
  * naive CXL-SSD (Base-CSSD). The paper reports 1.5-31.4x slowdowns; the
  * reproduced series should show the same per-workload ordering (graph
- * workloads worst, tpcc mildest).
+ * workloads worst, tpcc mildest). Point grid: registry sweep "fig02".
  */
 
 #include "support.h"
@@ -14,18 +14,12 @@ using namespace skybyte::bench;
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(120'000);
-    for (const auto &w : paperWorkloadNames()) {
-        for (const std::string v : {"DRAM-Only", "Base-CSSD"}) {
-            registerSim(w, v,
-                        [w, v, opt] { return runVariant(v, w, opt); });
-        }
-    }
+    registerRegistrySweep("fig02");
     return runBenchMain(argc, argv, [] {
         printHeader("Figure 2: Normalized execution time, DRAM vs "
                     "Base-CSSD (DRAM = 1.0)");
-        printNormalized(paperWorkloadNames(),
-                        {"DRAM-Only", "Base-CSSD"}, "DRAM-Only",
+        printNormalized(sweepAxisLabels("fig02", 0),
+                        sweepAxisLabels("fig02", 1), "DRAM-Only",
                         [](const SimResult &r) {
                             return static_cast<double>(r.execTime);
                         });

@@ -3,7 +3,8 @@
  * Figure 3: off-chip memory access latency distribution (CDF) for DRAM
  * vs CXL-SSD on bc, bfs-dense, srad, tpcc. The paper's shape: >90% of
  * CXL-SSD requests within ~200 ns (SSD DRAM cache hits) with a tail at
- * hundreds of microseconds from flash reads and GC.
+ * hundreds of microseconds from flash reads and GC. Point grid:
+ * registry sweep "fig03".
  */
 
 #include "support.h"
@@ -11,26 +12,15 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::string> kWorkloads = {"bc", "bfs-dense", "srad",
-                                             "tpcc"};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(100'000);
-    for (const auto &w : kWorkloads) {
-        for (const std::string v : {"DRAM-Only", "Base-CSSD"}) {
-            registerSim(w, v,
-                        [w, v, opt] { return runVariant(v, w, opt); });
-        }
-    }
+    registerRegistrySweep("fig03");
     return runBenchMain(argc, argv, [] {
         printHeader("Figure 3: off-chip access latency CDFs "
                     "(latency_ns cumulative_fraction)");
-        for (const auto &w : kWorkloads) {
-            for (const std::string v : {"DRAM-Only", "Base-CSSD"}) {
+        for (const auto &w : sweepAxisLabels("fig03", 0)) {
+            for (const auto &v : sweepAxisLabels("fig03", 1)) {
                 const SimResult &r = resultAt(w, v);
                 std::printf("\n[%s / %s] p50=%.0fns p90=%.0fns "
                             "p99=%.0fns p99.9=%.0fns\n",

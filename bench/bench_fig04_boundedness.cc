@@ -2,7 +2,7 @@
  * @file
  * Figure 4: execution-time boundedness breakdown (memory vs compute) for
  * DRAM vs CXL-SSD. Paper: memory-bounded share grows from 62.9-98.7%
- * (DRAM) to 77-99.8% (CXL-SSD).
+ * (DRAM) to 77-99.8% (CXL-SSD). Point grid: registry sweep "fig04".
  */
 
 #include "support.h"
@@ -13,18 +13,12 @@ using namespace skybyte::bench;
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(120'000);
-    for (const auto &w : paperWorkloadNames()) {
-        for (const std::string v : {"DRAM-Only", "Base-CSSD"}) {
-            registerSim(w, v,
-                        [w, v, opt] { return runVariant(v, w, opt); });
-        }
-    }
+    registerRegistrySweep("fig04");
     return runBenchMain(argc, argv, [] {
         printHeader("Figure 4: cycles bounded by memory vs compute (%)");
         std::printf("%-12s %22s %22s\n", "workload", "DRAM mem/comp",
                     "CXL-SSD mem/comp");
-        for (const auto &w : paperWorkloadNames()) {
+        for (const auto &w : sweepAxisLabels("fig04", 0)) {
             auto pct = [](const SimResult &r) {
                 const double busy = static_cast<double>(
                     r.computeTicks + r.memStallTicks + r.ctxSwitchTicks);

@@ -3,7 +3,8 @@
  * Figure 5: CDF of the fraction of cachelines accessed per page read
  * from flash into the SSD DRAM cache, as the footprint:cache ratio (1:n)
  * varies. Paper's takeaway: most workloads access <40% of the lines in
- * >75% of pages, so page-granular caching wastes SSD DRAM.
+ * >75% of pages, so page-granular caching wastes SSD DRAM. Point grid:
+ * registry sweep "fig05".
  */
 
 #include "support.h"
@@ -11,39 +12,18 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::string> kWorkloads = {"bc", "dlrm", "radix",
-                                             "ycsb"};
-const std::vector<std::uint64_t> kRatios = {4, 8, 16, 32, 64};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(80'000);
-    for (const auto &w : kWorkloads) {
-        for (std::uint64_t n : kRatios) {
-            const std::string col = "1:" + std::to_string(n);
-            registerSim(w, col, [w, n, opt] {
-                SimConfig cfg = makeBenchConfig("Base-CSSD");
-                // Fix the footprint, scale the cache to footprint/n.
-                ExperimentOptions o = opt;
-                o.footprintBytes = 128ULL * 1024 * 1024;
-                cfg.ssdCache.dataCacheBytes = o.footprintBytes / n;
-                cfg.ssdCache.writeLogBytes = 0;
-                return runConfig(cfg, w, o);
-            });
-        }
-    }
+    registerRegistrySweep("fig05");
     return runBenchMain(argc, argv, [] {
         printHeader("Figure 5: fraction of cachelines ACCESSED per "
                     "cached page (CDF at thresholds; mean)");
         std::printf("%-8s %-6s %8s %8s %8s %8s %8s\n", "workload",
                     "ratio", "<=12.5%", "<=25%", "<=50%", "<=75%",
                     "mean%");
-        for (const auto &w : kWorkloads) {
-            for (std::uint64_t n : kRatios) {
-                const std::string col = "1:" + std::to_string(n);
+        for (const auto &w : sweepAxisLabels("fig05", 0)) {
+            for (const auto &col : sweepAxisLabels("fig05", 1)) {
                 const RatioHistogram &h = resultAt(w, col).readLocality;
                 std::printf("%-8s %-6s %8.3f %8.3f %8.3f %8.3f %8.1f\n",
                             w.c_str(), col.c_str(), h.cdfAt(0.125),

@@ -1,9 +1,9 @@
 /**
  * @file
- * Figure 6: CDF of the fraction of DIRTY cachelines per page flushed
- * from the SSD DRAM cache to flash, versus footprint:cache ratio.
- * Motivates the write log: flushing a whole page for a few dirty lines
- * is pure write amplification.
+ * Figure 6: CDF of the fraction of cachelines dirty per page flushed to
+ * flash, as the footprint:cache ratio (1:n) varies. Paper's takeaway:
+ * page-granular writebacks program mostly-clean pages, motivating the
+ * cacheline-granular write log. Point grid: registry sweep "fig06".
  */
 
 #include "support.h"
@@ -11,37 +11,18 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::string> kWorkloads = {"bc", "dlrm", "radix",
-                                             "ycsb"};
-const std::vector<std::uint64_t> kRatios = {4, 8, 16, 32, 64};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(80'000);
-    for (const auto &w : kWorkloads) {
-        for (std::uint64_t n : kRatios) {
-            const std::string col = "1:" + std::to_string(n);
-            registerSim(w, col, [w, n, opt] {
-                SimConfig cfg = makeBenchConfig("Base-CSSD");
-                ExperimentOptions o = opt;
-                o.footprintBytes = 128ULL * 1024 * 1024;
-                cfg.ssdCache.dataCacheBytes = o.footprintBytes / n;
-                return runConfig(cfg, w, o);
-            });
-        }
-    }
+    registerRegistrySweep("fig06");
     return runBenchMain(argc, argv, [] {
         printHeader("Figure 6: fraction of cachelines DIRTY per page "
                     "flushed to flash (CDF at thresholds; mean)");
         std::printf("%-8s %-6s %8s %8s %8s %8s %8s %10s\n", "workload",
                     "ratio", "<=12.5%", "<=25%", "<=50%", "<=75%",
                     "mean%", "flushes");
-        for (const auto &w : kWorkloads) {
-            for (std::uint64_t n : kRatios) {
-                const std::string col = "1:" + std::to_string(n);
+        for (const auto &w : sweepAxisLabels("fig06", 0)) {
+            for (const auto &col : sweepAxisLabels("fig06", 1)) {
                 const RatioHistogram &h = resultAt(w, col).writeLocality;
                 std::printf("%-8s %-6s %8.3f %8.3f %8.3f %8.3f %8.1f "
                             "%10lu\n",

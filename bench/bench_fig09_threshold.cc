@@ -4,6 +4,7 @@
  * threshold (2-80 us). Paper: 2 us (the measured context-switch
  * overhead) is best since flash reads (3 us) already exceed it; larger
  * thresholds forfeit switch opportunities and degrade up to ~2x.
+ * Point grid: registry sweep "fig09".
  */
 
 #include "support.h"
@@ -11,33 +12,15 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::string> kWorkloads = {"bc", "bfs-dense", "srad",
-                                             "tpcc"};
-const std::vector<double> kThresholdsUs = {2, 10, 20, 40, 60, 80};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(100'000);
-    for (const auto &w : kWorkloads) {
-        for (double us : kThresholdsUs) {
-            const std::string col = std::to_string(static_cast<int>(us));
-            registerSim(w, col, [w, us, opt] {
-                SimConfig cfg = makeBenchConfig("SkyByte-Full");
-                cfg.policy.csThreshold = usToTicks(us);
-                return runConfig(cfg, w, opt);
-            });
-        }
-    }
+    registerRegistrySweep("fig09");
     return runBenchMain(argc, argv, [] {
         printHeader("Figure 9: normalized execution time vs context "
                     "switch trigger threshold (us), 2us = 1.0");
-        std::vector<std::string> cols;
-        for (double us : kThresholdsUs)
-            cols.push_back(std::to_string(static_cast<int>(us)));
-        printNormalized(kWorkloads, cols, "2",
+        printNormalized(sweepAxisLabels("fig09", 0),
+                        sweepAxisLabels("fig09", 1), "2",
                         [](const SimResult &r) {
                             return static_cast<double>(r.execTime);
                         });

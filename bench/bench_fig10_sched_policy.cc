@@ -4,6 +4,7 @@
  * coordinated context switch, with the execution-time breakdown
  * (context switch / compute-bound / memory-bound). Paper: the three
  * policies perform similarly because all threads are I/O bound.
+ * Point grid: registry sweep "fig10".
  */
 
 #include "support.h"
@@ -11,38 +12,19 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::string> kWorkloads = {"bc", "radix", "srad",
-                                             "tpcc"};
-const std::vector<std::pair<std::string, SchedPolicy>> kPolicies = {
-    {"RR", SchedPolicy::RoundRobin},
-    {"Random", SchedPolicy::Random},
-    {"CFS", SchedPolicy::Cfs},
-};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(100'000);
-    for (const auto &w : kWorkloads) {
-        for (const auto &[name, policy] : kPolicies) {
-            registerSim(w, name, [w, policy = policy, opt] {
-                SimConfig cfg = makeBenchConfig("SkyByte-Full");
-                cfg.policy.schedPolicy = policy;
-                return runConfig(cfg, w, opt);
-            });
-        }
-    }
+    registerRegistrySweep("fig10");
     return runBenchMain(argc, argv, [] {
         printHeader("Figure 10: scheduling policies — normalized exec "
                     "time and breakdown (ctx/comp/mem %)");
         std::printf("%-10s %-8s %10s %8s %8s %8s\n", "workload",
                     "policy", "norm.time", "ctx%", "comp%", "mem%");
-        for (const auto &w : kWorkloads) {
+        for (const auto &w : sweepAxisLabels("fig10", 0)) {
             const double base = static_cast<double>(
                 resultAt(w, "RR").execTime);
-            for (const auto &[name, policy] : kPolicies) {
+            for (const auto &name : sweepAxisLabels("fig10", 1)) {
                 const SimResult &r = resultAt(w, name);
                 const double busy = static_cast<double>(
                     r.computeTicks + r.memStallTicks + r.ctxSwitchTicks);

@@ -3,7 +3,8 @@
  * Figure 14: the headline ablation — normalized execution time of all
  * SkyByte variants over Base-CSSD. Paper: SkyByte-Full is 6.11x better
  * on average (up to 16.35x) and reaches 75% of DRAM-Only; expected
- * ordering Base < {P,C,W} < {CP,WP} < Full <= DRAM-Only.
+ * ordering Base < {P,C,W} < {CP,WP} < Full <= DRAM-Only. Point grid:
+ * registry sweep "fig14".
  */
 
 #include "support.h"
@@ -14,24 +15,20 @@ using namespace skybyte::bench;
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(150'000);
-    for (const auto &w : paperWorkloadNames()) {
-        for (const auto &v : allVariantNames()) {
-            registerSim(w, v,
-                        [w, v, opt] { return runVariant(v, w, opt); });
-        }
-    }
+    registerRegistrySweep("fig14");
     return runBenchMain(argc, argv, [] {
+        const std::vector<std::string> workloads =
+            sweepAxisLabels("fig14", 0);
         printHeader("Figure 14: normalized execution time over "
                     "Base-CSSD (lower is better)");
-        printNormalized(paperWorkloadNames(), allVariantNames(),
+        printNormalized(workloads, sweepAxisLabels("fig14", 1),
                         "Base-CSSD", [](const SimResult &r) {
                             return static_cast<double>(r.execTime);
                         });
         std::printf("\nSpeedup of SkyByte-Full over Base-CSSD "
                     "(higher is better):\n");
         std::vector<double> speedups;
-        for (const auto &w : paperWorkloadNames()) {
+        for (const auto &w : workloads) {
             const double s =
                 static_cast<double>(resultAt(w, "Base-CSSD").execTime)
                 / static_cast<double>(
@@ -42,7 +39,7 @@ main(int argc, char **argv)
         std::printf("  %-12s %6.2fx   (paper: 6.11x at full scale)\n",
                     "geo.mean", geoMean(speedups));
         std::vector<double> vs_ideal;
-        for (const auto &w : paperWorkloadNames()) {
+        for (const auto &w : workloads) {
             vs_ideal.push_back(
                 static_cast<double>(resultAt(w, "DRAM-Only").execTime)
                 / static_cast<double>(

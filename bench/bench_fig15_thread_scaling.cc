@@ -3,7 +3,8 @@
  * Figure 15: throughput (bars) and SSD bandwidth utilization (lines) of
  * SkyByte-Full as the thread count grows from 8 (= SkyByte-WP baseline)
  * to 48 on 8 cores. Paper: throughput scales with bandwidth utilization
- * until context-switch overhead dominates.
+ * until context-switch overhead dominates. Point grid: registry sweep
+ * "fig15".
  */
 
 #include "support.h"
@@ -11,51 +12,32 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<int> kThreads = {8, 16, 24, 32, 40, 48};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(100'000);
-    for (const auto &w : paperWorkloadNames()) {
-        // 8 threads = SkyByte-WP (no switching benefit at 1 thread/core).
-        {
-            ExperimentOptions o = opt;
-            o.threadsOverride = 8;
-            addSweepPoint(w, "8", makeSweepPoint("SkyByte-WP", w, o));
-        }
-        for (int t : kThreads) {
-            if (t == 8)
-                continue;
-            ExperimentOptions o = opt;
-            o.threadsOverride = t;
-            addSweepPoint(w, std::to_string(t),
-                          makeSweepPoint("SkyByte-Full", w, o));
-        }
-    }
-    registerSweep("fig15/thread_scaling");
+    registerRegistrySweep("fig15");
     return runBenchMain(argc, argv, [] {
+        const std::vector<std::string> threads =
+            sweepAxisLabels("fig15", 1);
         printHeader("Figure 15: normalized throughput / SSD bandwidth "
                     "vs thread count (8 threads = SkyByte-WP = 1.0)");
         std::printf("%-12s %-6s", "workload", "metric");
-        for (int t : kThreads)
-            std::printf("%9d", t);
+        for (const auto &t : threads)
+            std::printf("%9s", t.c_str());
         std::printf("\n");
-        for (const auto &w : paperWorkloadNames()) {
+        for (const auto &w : sweepAxisLabels("fig15", 0)) {
             const SimResult &base = resultAt(w, "8");
             std::printf("%-12s %-6s", w.c_str(), "thrpt");
-            for (int t : kThreads) {
-                const SimResult &r = resultAt(w, std::to_string(t));
+            for (const auto &t : threads) {
+                const SimResult &r = resultAt(w, t);
                 std::printf("%9.2f", base.throughput() > 0
                                          ? r.throughput()
                                                / base.throughput()
                                          : 0.0);
             }
             std::printf("\n%-12s %-6s", "", "bw");
-            for (int t : kThreads) {
-                const SimResult &r = resultAt(w, std::to_string(t));
+            for (const auto &t : threads) {
+                const SimResult &r = resultAt(w, t);
                 std::printf("%9.2f",
                             base.cxlBandwidthGbps() > 0
                                 ? r.cxlBandwidthGbps()

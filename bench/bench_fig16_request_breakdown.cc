@@ -4,7 +4,8 @@
  * system under SkyByte-Full: H-R/W (host DRAM read/write), S-R-H
  * (CXL-SSD DRAM read hit), S-R-M (CXL-SSD DRAM read miss), S-W
  * (CXL-SSD write; all writes append to the log, so hits/misses are not
- * distinguished — paper footnote 1).
+ * distinguished — paper footnote 1). Point grid: registry sweep
+ * "fig16".
  */
 
 #include "support.h"
@@ -15,18 +16,13 @@ using namespace skybyte::bench;
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(120'000);
-    for (const auto &w : paperWorkloadNames()) {
-        registerSim(w, "SkyByte-Full", [w, opt] {
-            return runVariant("SkyByte-Full", w, opt);
-        });
-    }
+    registerRegistrySweep("fig16");
     return runBenchMain(argc, argv, [] {
         printHeader("Figure 16: memory request breakdown (%) under "
                     "SkyByte-Full");
         std::printf("%-12s %9s %9s %9s %9s\n", "workload", "H-R/W",
                     "S-R-H", "S-R-M", "S-W");
-        for (const auto &w : paperWorkloadNames()) {
+        for (const auto &w : sweepAxisLabels("fig16", 0)) {
             const SimResult &r = resultAt(w, "SkyByte-Full");
             const double total = static_cast<double>(
                 r.hostReads + r.hostWrites + r.ssdReadHits

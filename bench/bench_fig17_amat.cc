@@ -4,6 +4,7 @@
  * host DRAM / CXL protocol / SSD indexing / SSD DRAM / flash components
  * across the design variants. Paper: SkyByte reduces AMAT 14.19x vs
  * Base-CSSD on average; SkyByte-Full lands within 1.39x of DRAM-Only.
+ * Point grid: registry sweep "fig17".
  */
 
 #include "support.h"
@@ -11,25 +12,17 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::string> kVariants = {
-    "Base-CSSD", "SkyByte-P", "SkyByte-W",
-    "SkyByte-WP", "SkyByte-Full", "DRAM-Only"};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(100'000);
-    for (const auto &w : paperWorkloadNames()) {
-        for (const auto &v : kVariants) {
-            registerSim(w, v,
-                        [w, v, opt] { return runVariant(v, w, opt); });
-        }
-    }
+    registerRegistrySweep("fig17");
     return runBenchMain(argc, argv, [] {
+        const std::vector<std::string> workloads =
+            sweepAxisLabels("fig17", 0);
+        const std::vector<std::string> variants =
+            sweepAxisLabels("fig17", 1);
         printHeader("Figure 17a: AMAT normalized to Base-CSSD");
-        printNormalized(paperWorkloadNames(), kVariants, "Base-CSSD",
+        printNormalized(workloads, variants, "Base-CSSD",
                         [](const SimResult &r) {
                             return r.amatTotalTicks > 0 ? r.amatTotalTicks
                                                         : 1.0;
@@ -37,9 +30,9 @@ main(int argc, char **argv)
         printHeader("Figure 17b: AMAT component breakdown (ns per "
                     "off-chip read): host/protocol/indexing/ssdDram/"
                     "flash");
-        for (const auto &w : paperWorkloadNames()) {
+        for (const auto &w : workloads) {
             std::printf("\n%s\n", w.c_str());
-            for (const auto &v : kVariants) {
+            for (const auto &v : variants) {
                 const SimResult &r = resultAt(w, v);
                 std::printf("  %-14s host=%8.1f proto=%7.1f idx=%6.1f "
                             "dram=%8.1f flash=%10.1f total=%10.1f\n",

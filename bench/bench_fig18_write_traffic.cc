@@ -5,6 +5,7 @@
  * each variant, normalized to Base-CSSD. Paper: SkyByte reduces flash
  * write traffic 23.08x on average, with the write log the dominant
  * contributor; context switching slightly increases traffic again.
+ * Point grid: registry sweep "fig18".
  */
 
 #include "support.h"
@@ -12,35 +13,27 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::string> kVariants = {
-    "Base-CSSD",  "SkyByte-P",  "SkyByte-C", "SkyByte-W",
-    "SkyByte-CP", "SkyByte-WP", "SkyByte-Full"};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(150'000);
-    for (const auto &w : paperWorkloadNames()) {
-        for (const auto &v : kVariants) {
-            registerSim(w, v,
-                        [w, v, opt] { return runVariant(v, w, opt); });
-        }
-    }
+    registerRegistrySweep("fig18");
     return runBenchMain(argc, argv, [] {
+        const std::vector<std::string> workloads =
+            sweepAxisLabels("fig18", 0);
+        const std::vector<std::string> variants =
+            sweepAxisLabels("fig18", 1);
         printHeader("Figure 18: flash write traffic (pages programmed, "
                     "normalized to Base-CSSD; log scale in paper)");
-        printNormalized(paperWorkloadNames(), kVariants, "Base-CSSD",
+        printNormalized(workloads, variants, "Base-CSSD",
                         [](const SimResult &r) {
                             return static_cast<double>(
                                        r.flashHostPrograms)
                                    + 1.0; // avoid 0/0 on tiny runs
                         });
         std::printf("\nAbsolute pages programmed (data path / GC):\n");
-        for (const auto &w : paperWorkloadNames()) {
+        for (const auto &w : workloads) {
             std::printf("  %-12s", w.c_str());
-            for (const auto &v : kVariants) {
+            for (const auto &v : variants) {
                 const SimResult &r = resultAt(w, v);
                 std::printf(" %8lu/%-6lu",
                             static_cast<unsigned long>(

@@ -4,6 +4,7 @@
  * the total SSD DRAM (log + data cache) fixed. Paper: a log of ~1/8 of
  * SSD DRAM already provides a sufficient coalescing window; write-heavy
  * workloads with temporal locality (srad, tpcc) are most sensitive.
+ * Point grid: registry sweep "fig19".
  */
 
 #include "support.h"
@@ -11,31 +12,16 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-/** Log sizes in KB; the paper's 0.5-256 MB sweep at 1/64 scale. */
-const std::vector<std::uint64_t> kLogKb = {16, 64, 256, 1024, 2048,
-                                           4096};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(100'000);
-    for (const auto &w : paperWorkloadNames()) {
-        for (std::uint64_t kb : kLogKb) {
-            addSweepPoint(w, std::to_string(kb),
-                          logSizeSweepPoint(kb, w, opt));
-        }
-    }
-    registerSweep("fig19/logsize_perf");
+    registerRegistrySweep("fig19");
     return runBenchMain(argc, argv, [] {
         printHeader("Figure 19: normalized execution time vs write log "
                     "size (KB; total SSD DRAM fixed; 1024 KB = default "
                     "1/8 split = 1.0)");
-        std::vector<std::string> cols;
-        for (std::uint64_t kb : kLogKb)
-            cols.push_back(std::to_string(kb));
-        printNormalized(paperWorkloadNames(), cols, "1024",
+        printNormalized(sweepAxisLabels("fig19", 0),
+                        sweepAxisLabels("fig19", 1), "1024",
                         [](const SimResult &r) {
                             return static_cast<double>(r.execTime);
                         });

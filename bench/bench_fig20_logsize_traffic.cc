@@ -3,7 +3,7 @@
  * Figure 20: flash write traffic vs write log size. A larger log widens
  * the coalescing window, so page programs per compaction drop; the
  * effect saturates once the log covers the workload's write working
- * set.
+ * set. Point grid: registry sweep "fig20".
  */
 
 #include "support.h"
@@ -11,39 +11,28 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::uint64_t> kLogKb = {16, 64, 256, 1024, 2048,
-                                           4096};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(100'000);
-    for (const auto &w : paperWorkloadNames()) {
-        for (std::uint64_t kb : kLogKb) {
-            addSweepPoint(w, std::to_string(kb),
-                          logSizeSweepPoint(kb, w, opt));
-        }
-    }
-    registerSweep("fig20/logsize_traffic");
+    registerRegistrySweep("fig20");
     return runBenchMain(argc, argv, [] {
+        const std::vector<std::string> workloads =
+            sweepAxisLabels("fig20", 0);
+        const std::vector<std::string> sizes =
+            sweepAxisLabels("fig20", 1);
         printHeader("Figure 20: flash write traffic vs write log size "
                     "(pages programmed, normalized to the 16 KB log)");
-        std::vector<std::string> cols;
-        for (std::uint64_t kb : kLogKb)
-            cols.push_back(std::to_string(kb));
-        printNormalized(paperWorkloadNames(), cols, "16",
+        printNormalized(workloads, sizes, "16",
                         [](const SimResult &r) {
                             return static_cast<double>(
                                        r.flashHostPrograms)
                                    + 1.0;
                         });
         std::printf("\nCompactions and log appends per run:\n");
-        for (const auto &w : paperWorkloadNames()) {
+        for (const auto &w : workloads) {
             std::printf("  %-12s", w.c_str());
-            for (std::uint64_t kb : kLogKb) {
-                const SimResult &r = resultAt(w, std::to_string(kb));
+            for (const auto &kb : sizes) {
+                const SimResult &r = resultAt(w, kb);
                 std::printf(" %5lux/%-8lu",
                             static_cast<unsigned long>(r.compactions),
                             static_cast<unsigned long>(r.logAppends));

@@ -4,7 +4,8 @@
  * cache size (paper 0.125-2 GB; 1/64 scale here), keeping the host:SSD
  * promoted-page ratio at 4:1 and the log:cache split at 1:7. Paper:
  * SkyByte-Full wins at every size — a small DRAM with the cacheline
- * write log matches a much larger page-granular cache.
+ * write log matches a much larger page-granular cache. Point grid:
+ * registry sweep "fig21" (combined variant@size axis).
  */
 
 #include "support.h"
@@ -21,26 +22,11 @@ const std::vector<std::string> kVariants = {
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(60'000);
-    for (const auto &w : paperWorkloadNames()) {
-        for (std::uint64_t mb : kDramMb) {
-            for (const auto &v : kVariants) {
-                const std::string col =
-                    v + "@" + std::to_string(mb) + "MB";
-                SimConfig cfg = makeBenchConfig(v);
-                const std::uint64_t total = mb * 1024 * 1024;
-                cfg.ssdCache.writeLogBytes = total / 8;
-                cfg.ssdCache.dataCacheBytes = total - total / 8;
-                cfg.hostMem.promotedBytesMax = total * 4;
-                addSweepPoint(w, col, {std::move(cfg), w, opt});
-            }
-        }
-    }
-    registerSweep("fig21/dram_sweep");
+    registerRegistrySweep("fig21");
     return runBenchMain(argc, argv, [] {
         printHeader("Figure 21: execution time vs SSD DRAM size "
                     "(normalized to SkyByte-Full @ 8MB default)");
-        for (const auto &w : paperWorkloadNames()) {
+        for (const auto &w : sweepAxisLabels("fig21", 0)) {
             const double base = static_cast<double>(
                 resultAt(w, "SkyByte-Full@8MB").execTime);
             std::printf("\n%s (SSD DRAM MB: rows = variant)\n",

@@ -5,6 +5,7 @@
  * SkyByte-Full at 16/24/32 threads. Paper: write log + context
  * switching matter more as flash gets slower, letting cheap commodity
  * flash approach Z-NAND performance for parallelizable applications.
+ * Point grid: registry sweep "fig22" (columns are config/nand).
  */
 
 #include "support.h"
@@ -15,39 +16,12 @@ using namespace skybyte::bench;
 namespace {
 const std::vector<NandType> kNand = {NandType::ULL, NandType::ULL2,
                                      NandType::SLC, NandType::MLC};
-
-struct Config
-{
-    std::string label;
-    std::string variant;
-    int threads; // 0 = paper default
-};
-const std::vector<Config> kConfigs = {
-    {"SkyByte-P", "SkyByte-P", 0},        {"SkyByte-W", "SkyByte-W", 0},
-    {"SkyByte-WP", "SkyByte-WP", 0},      {"Full-16", "SkyByte-Full", 16},
-    {"Full-24", "SkyByte-Full", 24},      {"Full-32", "SkyByte-Full", 32},
-};
 }
 
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(60'000);
-    for (const auto &w : paperWorkloadNames()) {
-        for (NandType nand : kNand) {
-            for (const auto &c : kConfigs) {
-                const std::string col =
-                    nandTypeName(nand) + "/" + c.label;
-                registerSim(w, col, [w, nand, c, opt] {
-                    SimConfig cfg = makeBenchConfig(c.variant);
-                    cfg.flash.timing = nandTiming(nand);
-                    ExperimentOptions o = opt;
-                    o.threadsOverride = c.threads;
-                    return runConfig(cfg, w, o);
-                });
-            }
-        }
-    }
+    registerRegistrySweep("fig22");
     return runBenchMain(argc, argv, [] {
         printHeader("Table IV: NAND flash parameters");
         std::printf("%-6s %10s %12s %10s\n", "type", "read(us)",
@@ -62,18 +36,17 @@ main(int argc, char **argv)
         }
         printHeader("Figure 22: execution time by NAND type "
                     "(normalized to ULL / Full-24 per workload)");
-        for (const auto &w : paperWorkloadNames()) {
+        for (const auto &w : sweepAxisLabels("fig22", 0)) {
             const double base = static_cast<double>(
-                resultAt(w, "ULL/Full-24").execTime);
+                resultAt(w, "Full-24/ULL").execTime);
             std::printf("\n%s\n  %-12s", w.c_str(), "config");
             for (NandType nand : kNand)
                 std::printf("%10s", nandTypeName(nand).c_str());
             std::printf("\n");
-            for (const auto &c : kConfigs) {
-                std::printf("  %-12s", c.label.c_str());
+            for (const auto &c : sweepAxisLabels("fig22", 1)) {
+                std::printf("  %-12s", c.c_str());
                 for (NandType nand : kNand) {
-                    const std::string col =
-                        nandTypeName(nand) + "/" + c.label;
+                    const std::string col = c + "/" + nandTypeName(nand);
                     std::printf("%10.2f",
                                 base > 0
                                     ? static_cast<double>(

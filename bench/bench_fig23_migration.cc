@@ -5,7 +5,7 @@
  * SkyByte-CP / SkyByte-Full. Paper: SkyByte-CP beats AstriFlash-CXL by
  * ~1.09x (hot-page-only, fully-associative host use), SkyByte-WCT
  * beats SkyByte-CT by 1.10x (the write log composes with TPP), and
- * SkyByte-Full wins overall.
+ * SkyByte-Full wins overall. Point grid: registry sweep "fig23".
  */
 
 #include "support.h"
@@ -13,41 +13,25 @@
 using namespace skybyte;
 using namespace skybyte::bench;
 
-namespace {
-const std::vector<std::string> kVariants = {
-    "SkyByte-C", "AstriFlash-CXL", "SkyByte-CT",
-    "SkyByte-CP", "SkyByte-WCT",   "SkyByte-Full"};
-}
-
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(100'000);
-    for (const auto &w : paperWorkloadNames()) {
-        for (const auto &v : kVariants) {
-            registerSim(w, v, [w, v, opt] {
-                SimConfig cfg = makeBenchConfig(v);
-                if (v == "AstriFlash-CXL") {
-                    // User-level switches are much cheaper than an OS
-                    // context switch [23].
-                    cfg.policy.ctxSwitchOverhead =
-                        cfg.policy.astriSwitchOverhead;
-                }
-                return runConfig(cfg, w, opt);
-            });
-        }
-    }
+    registerRegistrySweep("fig23");
     return runBenchMain(argc, argv, [] {
+        const std::vector<std::string> workloads =
+            sweepAxisLabels("fig23", 0);
+        const std::vector<std::string> variants =
+            sweepAxisLabels("fig23", 1);
         printHeader("Figure 23: page migration mechanisms — execution "
                     "time normalized to SkyByte-C (lower is better)");
-        printNormalized(paperWorkloadNames(), kVariants, "SkyByte-C",
+        printNormalized(workloads, variants, "SkyByte-C",
                         [](const SimResult &r) {
                             return static_cast<double>(r.execTime);
                         });
         std::printf("\nPromotions (pages moved to host DRAM):\n");
-        for (const auto &w : paperWorkloadNames()) {
+        for (const auto &w : workloads) {
             std::printf("  %-12s", w.c_str());
-            for (const auto &v : kVariants) {
+            for (const auto &v : variants) {
                 std::printf(" %10lu", static_cast<unsigned long>(
                                           resultAt(w, v).promotions));
             }

@@ -4,7 +4,8 @@
  * LLC MPKI — measured from the synthetic generators and compared with
  * the paper's published values. Footprints are 1/64 scale by design;
  * write ratios should match closely; MPKI should preserve the paper's
- * ordering (tpcc lowest ... bfs-dense highest).
+ * ordering (tpcc lowest ... bfs-dense highest). Point grid: registry
+ * sweep "table1".
  */
 
 #include "support.h"
@@ -17,19 +18,14 @@ using namespace skybyte::bench;
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(120'000);
-    for (const auto &w : paperWorkloadNames()) {
-        registerSim(w, "Base-CSSD", [w, opt] {
-            return runVariant("Base-CSSD", w, opt);
-        });
-    }
-    return runBenchMain(argc, argv, [&] {
+    registerRegistrySweep("table1");
+    return runBenchMain(argc, argv, [] {
         printHeader("Table I: workload characteristics "
                     "(measured vs paper)");
         std::printf("%-10s %-9s %12s %12s %9s %9s %9s %9s\n", "name",
                     "suite", "footprint", "paper(GB)", "wr%", "paper%",
                     "MPKI", "paperMPKI");
-        for (const auto &w : paperWorkloadNames()) {
+        for (const auto &w : sweepAxisLabels("table1", 0)) {
             const WorkloadInfo &info = workloadInfo(w);
             const SimResult &r = resultAt(w, "Base-CSSD");
 

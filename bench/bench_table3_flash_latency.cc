@@ -2,10 +2,13 @@
  * @file
  * Table III: average flash read latency observed by SkyByte-WP demand
  * fetches. Paper values range from 3.3 us (ycsb, near-idle channels) to
- * 25.7 us (bfs-dense, queueing + compaction interference).
+ * 25.7 us (bfs-dense, queueing + compaction interference). Point grid:
+ * registry sweep "table3".
  */
 
 #include "support.h"
+
+#include <map>
 
 using namespace skybyte;
 using namespace skybyte::bench;
@@ -13,12 +16,7 @@ using namespace skybyte::bench;
 int
 main(int argc, char **argv)
 {
-    const ExperimentOptions opt = benchOptions(120'000);
-    for (const auto &w : paperWorkloadNames()) {
-        registerSim(w, "SkyByte-WP", [w, opt] {
-            return runVariant("SkyByte-WP", w, opt);
-        });
-    }
+    registerRegistrySweep("table3");
     return runBenchMain(argc, argv, [] {
         printHeader("Table III: average flash read latency of "
                     "SkyByte-WP (us)");
@@ -28,7 +26,7 @@ main(int argc, char **argv)
             {"bc", 3.5},    {"bfs-dense", 25.7}, {"dlrm", 3.4},
             {"radix", 4.9}, {"srad", 22.5},      {"tpcc", 19.6},
             {"ycsb", 3.3}};
-        for (const auto &w : paperWorkloadNames()) {
+        for (const auto &w : sweepAxisLabels("table3", 0)) {
             std::printf("%-12s %12.1f %12.1f\n", w.c_str(),
                         resultAt(w, "SkyByte-WP").flashReadLatencyUs,
                         paper.at(w));

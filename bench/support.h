@@ -1,21 +1,22 @@
 /**
  * @file
- * Shared support for the benchmark harness: every bench binary registers
- * its simulation runs as google-benchmark cases (1 iteration each, the
- * simulated execution time reported as manual time), stores the
- * SimResults in a process-wide table, and prints the paper-style
- * rows/series after the benchmark pass.
+ * Shared support for the benchmark harness. A bench binary is a thin
+ * shell around the sweep registry (sim/sweep.h): it registers its named
+ * sweep as one google-benchmark case via registerRegistrySweep() — the
+ * whole point grid then executes on the runSweep() worker pool — and
+ * owns only the paper-style table printer that reads the results back
+ * from the process-wide (row, col) table. The grid itself (axes,
+ * variants, knob values) lives in the library's sweep registry, shared
+ * with the skybyte_sweep CLI and CI, so a grid change lands everywhere
+ * at once.
  *
- * Multi-point benches (the DRAM / log-size / thread-count sweeps)
- * instead collect SweepPoints with addSweepPoint() and register one
- * case via registerSweep(); the points then run concurrently on the
- * runSweep() worker pool. Results land in the same (row, col) table,
- * and are identical to a serial run (each point is seeded solely from
- * its own config).
+ * Result-table convention: a point's row is its first-axis label (the
+ * workload in every paper sweep) and its column the remaining axis
+ * labels joined with '/' (LabeledPoint::col()).
  *
  * Scale knobs: SKYBYTE_BENCH_INSTR (instructions per thread at 8
- * threads), SKYBYTE_BENCH_THREADS, SKYBYTE_BENCH_FOOTPRINT_MB,
- * SKYBYTE_BENCH_NTHREADS (sweep worker pool size).
+ * threads; default comes from the sweep spec), SKYBYTE_BENCH_THREADS,
+ * SKYBYTE_BENCH_FOOTPRINT_MB, SKYBYTE_BENCH_NTHREADS (worker pool).
  */
 
 #ifndef SKYBYTE_BENCH_SUPPORT_H
@@ -24,12 +25,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "sim/experiment.h"
+#include "sim/sweep.h"
 
 namespace skybyte::bench {
 
@@ -47,120 +49,60 @@ resultAt(const std::string &row, const std::string &col)
     return results()[{row, col}];
 }
 
-/** Default options for this binary (env-overridable). */
-inline ExperimentOptions
-benchOptions(std::uint64_t default_instr)
+/** The registered spec for @p name, or exit with a clear error. */
+inline const SweepSpec &
+requireSweep(const std::string &name)
 {
-    ExperimentOptions opt = ExperimentOptions::fromEnv();
-    if (std::getenv("SKYBYTE_BENCH_INSTR") == nullptr)
-        opt.instrPerThread = default_instr;
-    return opt;
+    const SweepSpec *spec = findSweep(name);
+    if (spec == nullptr) {
+        std::fprintf(stderr, "bench: unknown sweep: %s\n", name.c_str());
+        std::exit(1);
+    }
+    return *spec;
+}
+
+/** Value labels of axis @p axis of the named sweep (printer input). */
+inline std::vector<std::string>
+sweepAxisLabels(const std::string &name, std::size_t axis)
+{
+    return requireSweep(name).axes.at(axis).labels();
 }
 
 /**
- * Register one simulation as a google-benchmark case. @p fn runs the
- * simulation and returns the result, which is stored under (row, col)
- * and surfaced as counters.
+ * Register the named registry sweep as a single google-benchmark case:
+ * the expanded points run concurrently on the runSweep() pool, results
+ * land at (row(), col()), and the reported manual time is the summed
+ * simulated execution time. Output is identical to a serial run (each
+ * point is seeded solely from its own config).
  */
 inline void
-registerSim(const std::string &row, const std::string &col,
-            std::function<SimResult()> fn)
+registerRegistrySweep(const std::string &name)
 {
-    const std::string name = row + "/" + col;
+    const SweepSpec &spec = requireSweep(name);
     benchmark::RegisterBenchmark(
-        name.c_str(),
-        [row, col, fn = std::move(fn)](benchmark::State &state) {
+        (name + "/sweep").c_str(),
+        [&spec](benchmark::State &state) {
+            const ExperimentOptions opt = spec.optionsFromEnv();
             for (auto _ : state) {
-                SimResult res = fn();
-                resultAt(row, col) = res;
-                state.SetIterationTime(res.execMs() / 1000.0);
-                state.counters["sim_exec_ms"] = res.execMs();
-                state.counters["instructions"] = static_cast<double>(
-                    res.committedInstructions);
-                state.counters["flash_pgm"] = static_cast<double>(
-                    res.flashHostPrograms + res.flashGcPrograms);
-            }
-        })
-        ->Iterations(1)
-        ->UseManualTime()
-        ->Unit(benchmark::kMillisecond);
-}
-
-/** Sweep points queued for this binary, with their table labels. */
-struct LabelledPoint
-{
-    std::string row;
-    std::string col;
-    SweepPoint point;
-};
-
-inline std::vector<LabelledPoint> &
-sweepPoints()
-{
-    static std::vector<LabelledPoint> points;
-    return points;
-}
-
-/** Queue one run for the pooled sweep, labelled (row, col). */
-inline void
-addSweepPoint(const std::string &row, const std::string &col,
-              SweepPoint point)
-{
-    sweepPoints().push_back({row, col, std::move(point)});
-}
-
-/**
- * SkyByte-Full point with the SSD DRAM re-split to a @p kb KB write
- * log, keeping total SSD DRAM (log + data cache) fixed — the shared
- * configuration rule of the figure 19/20 log-size sweeps.
- */
-inline SweepPoint
-logSizeSweepPoint(std::uint64_t kb, const std::string &workload,
-                  const ExperimentOptions &opt)
-{
-    SimConfig cfg = makeBenchConfig("SkyByte-Full");
-    const std::uint64_t total =
-        cfg.ssdCache.writeLogBytes + cfg.ssdCache.dataCacheBytes;
-    cfg.ssdCache.writeLogBytes = kb * 1024;
-    cfg.ssdCache.dataCacheBytes = total - kb * 1024;
-    return {std::move(cfg), workload, opt};
-}
-
-/**
- * Register every queued point as a single google-benchmark case that
- * executes the whole batch through runSweep() on the worker pool. The
- * reported manual time is the summed simulated execution time, matching
- * what the per-case registration would have reported in total.
- */
-inline void
-registerSweep(const char *name = "sweep/all")
-{
-    benchmark::RegisterBenchmark(
-        name,
-        [](benchmark::State &state) {
-            std::vector<SweepPoint> points;
-            points.reserve(sweepPoints().size());
-            for (const LabelledPoint &lp : sweepPoints())
-                points.push_back(lp.point);
-            for (auto _ : state) {
-                const std::vector<SimResult> res = runSweep(points);
+                const SweepExecution exec = runSweepShard(spec, opt);
                 double sim_ms = 0;
                 std::uint64_t instr = 0;
                 std::uint64_t flash_pgm = 0;
-                for (std::size_t i = 0; i < res.size(); ++i) {
-                    const LabelledPoint &lp = sweepPoints()[i];
-                    resultAt(lp.row, lp.col) = res[i];
-                    sim_ms += res[i].execMs();
-                    instr += res[i].committedInstructions;
-                    flash_pgm += res[i].flashHostPrograms
-                                 + res[i].flashGcPrograms;
+                for (std::size_t i = 0; i < exec.points.size(); ++i) {
+                    const LabeledPoint &lp = exec.points[i];
+                    const SimResult &res = exec.results[i];
+                    resultAt(lp.row(), lp.col()) = res;
+                    sim_ms += res.execMs();
+                    instr += res.committedInstructions;
+                    flash_pgm += res.flashHostPrograms
+                                 + res.flashGcPrograms;
                 }
                 state.SetIterationTime(sim_ms / 1000.0);
                 state.counters["sim_exec_ms"] = sim_ms;
                 state.counters["points"] =
-                    static_cast<double>(res.size());
+                    static_cast<double>(exec.points.size());
                 state.counters["threads"] = static_cast<double>(
-                    sweepThreads(0, points.size()));
+                    sweepThreads(0, exec.points.size()));
                 state.counters["instructions"] =
                     static_cast<double>(instr);
                 state.counters["flash_pgm"] =

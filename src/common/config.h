@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/event_queue.h"
 #include "common/types.h"
 
 namespace skybyte {
@@ -263,10 +264,24 @@ struct HostMemConfig
     ReclaimPolicy reclaim = ReclaimPolicy::LruScan;
 };
 
+/**
+ * Event-kernel tuning (ROADMAP "Calendar-window tuning"). The defaults
+ * reproduce the constants the calendar queue shipped with; both knobs
+ * only change simulator wall-clock, never simulated behaviour.
+ */
+struct KernelConfig
+{
+    /** Calendar near-window size in ticks; power of two >= 64. */
+    std::uint32_t calendarWindowTicks = EventQueue::kWindowTicks;
+    /** EventRecords carved per slab chunk. */
+    std::uint32_t slabChunkRecords = detail::EventSlab::kChunkRecords;
+};
+
 /** Complete system configuration. */
 struct SimConfig
 {
     std::string name = "Base-CSSD";
+    KernelConfig kernel{};
     CpuConfig cpu{};
     HostDramConfig hostDram{};
     SsdDramConfig ssdDram{};

@@ -45,6 +45,7 @@
 #include <memory>
 #include <new>
 #include <queue>
+#include <stdexcept>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -123,6 +124,13 @@ class EventSlab
   public:
     static constexpr std::size_t kChunkRecords = 512;
 
+    explicit EventSlab(std::size_t chunk_records = kChunkRecords)
+        : chunkRecords_(chunk_records)
+    {
+        if (chunkRecords_ == 0)
+            throw std::invalid_argument("slab chunk size must be > 0");
+    }
+
     EventRecord *
     alloc()
     {
@@ -151,9 +159,9 @@ class EventSlab
     void
     refill()
     {
-        chunks_.push_back(std::make_unique<EventRecord[]>(kChunkRecords));
+        chunks_.push_back(std::make_unique<EventRecord[]>(chunkRecords_));
         EventRecord *chunk = chunks_.back().get();
-        for (std::size_t i = kChunkRecords; i-- > 0;) {
+        for (std::size_t i = chunkRecords_; i-- > 0;) {
             chunk[i].next = free_;
             free_ = &chunk[i];
         }
@@ -161,6 +169,7 @@ class EventSlab
 
     std::vector<std::unique_ptr<EventRecord[]>> chunks_;
     EventRecord *free_ = nullptr;
+    std::size_t chunkRecords_;
 };
 
 } // namespace detail
@@ -171,13 +180,28 @@ class EventSlab
 class EventQueue
 {
   public:
-    /** Calendar window: per-tick buckets covering [base_, base_+W). */
+    /** Default calendar window: buckets covering [base_, base_+W). */
     static constexpr std::size_t kWindowTicks = 8192; // 512 ns
 
-    EventQueue()
-        : head_(kWindowTicks, nullptr), tail_(kWindowTicks, nullptr),
-          bitmap_(kWindowTicks / 64, 0)
-    {}
+    /**
+     * @param window_ticks near-future window size (power of two >= 64);
+     *                     the sweet spot depends on the event-stride
+     *                     distribution, hence the SimConfig knob
+     * @param slab_chunk_records EventRecords carved per slab chunk
+     */
+    explicit EventQueue(
+        std::size_t window_ticks = kWindowTicks,
+        std::size_t slab_chunk_records = detail::EventSlab::kChunkRecords)
+        : head_(window_ticks, nullptr), tail_(window_ticks, nullptr),
+          bitmap_(window_ticks / 64, 0), slab_(slab_chunk_records),
+          window_(window_ticks), mask_(window_ticks - 1),
+          words_(window_ticks / 64)
+    {
+        if (window_ticks < 64 || (window_ticks & mask_) != 0) {
+            throw std::invalid_argument(
+                "calendar window must be a power of two >= 64");
+        }
+    }
 
     ~EventQueue() { destroyPending(); }
 
@@ -205,7 +229,7 @@ class EventQueue
         r->seq = seq_++;
         r->next = nullptr;
         r->cb.construct(std::forward<F>(fn));
-        if (when < base_ + kWindowTicks)
+        if (when < base_ + window_)
             bucketAppend(r);
         else
             overflowPush(r);
@@ -252,7 +276,7 @@ class EventQueue
             return kTickMax;
         const std::size_t d = scanBitmap();
         const Tick bucket_when =
-            d < kWindowTicks ? base_ + d : kTickMax;
+            d < window_ ? base_ + d : kTickMax;
         const Tick overflow_when =
             overflow_.empty() ? kTickMax : overflow_.front()->when;
         return std::min(bucket_when, overflow_when);
@@ -292,10 +316,10 @@ class EventQueue
         size_ = 0;
     }
 
+    /** Configured near-window size in ticks. */
+    std::size_t windowTicks() const { return window_; }
+
   private:
-    static constexpr std::size_t kMask = kWindowTicks - 1;
-    static constexpr std::size_t kWords = kWindowTicks / 64;
-    static_assert((kWindowTicks & kMask) == 0, "window must be 2^n");
 
     /** Min-heap order over far-future events: (when, seq) ascending. */
     struct OverflowLater
@@ -313,7 +337,7 @@ class EventQueue
     void
     bucketAppend(detail::EventRecord *r)
     {
-        const std::size_t idx = r->when & kMask;
+        const std::size_t idx = r->when & mask_;
         if (head_[idx] == nullptr) {
             head_[idx] = tail_[idx] = r;
             bitmap_[idx >> 6] |= 1ull << (idx & 63);
@@ -333,32 +357,32 @@ class EventQueue
 
     /**
      * Offset from the cursor of the first occupied bucket, scanning the
-     * occupancy bitmap circularly; kWindowTicks when all empty.
+     * occupancy bitmap circularly; windowTicks() when all empty.
      */
     std::size_t
     scanBitmap() const
     {
-        const std::size_t start = base_ & kMask;
+        const std::size_t start = base_ & mask_;
         const std::size_t word = start >> 6;
         const std::size_t bit = start & 63;
         const std::uint64_t first = bitmap_[word] >> bit;
         if (first != 0)
             return static_cast<std::size_t>(std::countr_zero(first));
         std::size_t off = 64 - bit;
-        for (std::size_t i = 1; i < kWords; ++i) {
-            const std::uint64_t w = bitmap_[(word + i) & (kWords - 1)];
+        for (std::size_t i = 1; i < words_; ++i) {
+            const std::uint64_t w = bitmap_[(word + i) & (words_ - 1)];
             if (w != 0)
                 return off
                        + static_cast<std::size_t>(std::countr_zero(w));
             off += 64;
         }
-        // Wrap: low bits of the starting word sit kWindowTicks-bit..
-        // kWindowTicks-1 ticks ahead of the cursor.
+        // Wrap: low bits of the starting word sit window-bit..
+        // window-1 ticks ahead of the cursor.
         const std::uint64_t low =
             bit == 0 ? 0 : (bitmap_[word] & ((1ull << bit) - 1));
         if (low != 0)
             return off + static_cast<std::size_t>(std::countr_zero(low));
-        return kWindowTicks;
+        return window_;
     }
 
     /** Pull overflow events entering the window [base_, @p end). */
@@ -399,9 +423,9 @@ class EventQueue
         if (size_ == 0)
             return nullptr;
         const std::size_t d = scanBitmap();
-        if (d < kWindowTicks) {
+        if (d < window_) {
             // Bucketed events exist; the overflow heap only holds ticks
-            // >= base_ + kWindowTicks, so the earliest is in a bucket.
+            // >= base_ + window_, so the earliest is in a bucket.
             base_ += d;
         } else {
             assert(!overflow_.empty());
@@ -410,14 +434,14 @@ class EventQueue
         // The window end advanced: migrate overflow events that now
         // fall inside it before any callback can schedule at those
         // ticks (heap pop order keeps same-tick FIFO intact).
-        migrateUpTo(base_ + kWindowTicks);
-        return popBucket(base_ & kMask);
+        migrateUpTo(base_ + window_);
+        return popBucket(base_ & mask_);
     }
 
     void
     destroyPending()
     {
-        for (std::size_t i = 0; i < kWindowTicks; ++i) {
+        for (std::size_t i = 0; i < window_; ++i) {
             for (detail::EventRecord *r = head_[i]; r != nullptr;
                  r = r->next) {
                 r->cb.destroy();
@@ -432,6 +456,9 @@ class EventQueue
     std::vector<std::uint64_t> bitmap_;
     std::vector<detail::EventRecord *> overflow_;
     detail::EventSlab slab_;
+    std::size_t window_;
+    std::size_t mask_;
+    std::size_t words_;
     Tick now_ = 0;
     Tick base_ = 0; ///< tick of the bucket cursor (<= now_ when idle)
     std::uint64_t seq_ = 0;

@@ -1,8 +1,10 @@
 #include "sim/report.h"
 
+#include <algorithm>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <stdexcept>
 
 namespace skybyte {
 
@@ -140,6 +142,231 @@ writeJsonFile(const SimResult &res, const std::string &path)
     out << toJson(res);
     if (!out)
         throw std::runtime_error("short write: " + path);
+}
+
+namespace {
+
+/** Minimal scanner over the report format this file writes. */
+class JsonScanner
+{
+  public:
+    explicit JsonScanner(const std::string &text) : text_(text) {}
+
+    /** Position the cursor after the first occurrence of @p token. */
+    void
+    expect(const std::string &token)
+    {
+        const auto at = text_.find(token, pos_);
+        if (at == std::string::npos)
+            throw std::runtime_error("sweep report: missing " + token);
+        pos_ = at + token.size();
+    }
+
+    bool
+    lookingAt(char c)
+    {
+        skipSpace();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    void
+    consume(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c) {
+            throw std::runtime_error(
+                std::string("sweep report: expected '") + c + "'");
+        }
+        pos_++;
+    }
+
+    std::string
+    stringValue()
+    {
+        consume('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\' && pos_ + 1 < text_.size())
+                pos_++; // report strings never need escapes, but cope
+            out += text_[pos_++];
+        }
+        consume('"');
+        return out;
+    }
+
+    std::uint64_t
+    numberValue()
+    {
+        skipSpace();
+        std::size_t used = 0;
+        std::uint64_t v = 0;
+        try {
+            v = std::stoull(text_.substr(pos_, 20), &used, 10);
+        } catch (const std::exception &) {
+            throw std::runtime_error("sweep report: expected number");
+        }
+        pos_ += used;
+        return v;
+    }
+
+    /**
+     * The cursor sits at the '{' of an object: return its full text
+     * (string-aware brace matching) and advance past it.
+     */
+    std::string
+    objectText()
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != '{')
+            throw std::runtime_error("sweep report: expected object");
+        const std::size_t begin = pos_;
+        int depth = 0;
+        bool in_string = false;
+        for (; pos_ < text_.size(); ++pos_) {
+            const char c = text_[pos_];
+            if (in_string) {
+                if (c == '\\')
+                    pos_++;
+                else if (c == '"')
+                    in_string = false;
+            } else if (c == '"') {
+                in_string = true;
+            } else if (c == '{') {
+                depth++;
+            } else if (c == '}') {
+                if (--depth == 0) {
+                    pos_++;
+                    return text_.substr(begin, pos_ - begin);
+                }
+            }
+        }
+        throw std::runtime_error("sweep report: unterminated object");
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size()
+               && (text_[pos_] == ' ' || text_[pos_] == '\n'
+                   || text_[pos_] == '\r' || text_[pos_] == '\t')) {
+            pos_++;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+sweepEntryJson(std::size_t index, const std::string &id,
+               const SimResult &res)
+{
+    std::string result_json = toJson(res);
+    // toJson ends with "}\n"; embed without the trailing newline.
+    if (!result_json.empty() && result_json.back() == '\n')
+        result_json.pop_back();
+    std::ostringstream os;
+    os << "{\n"
+       << "\"index\": " << index << ",\n"
+       << "\"id\": \"" << id << "\",\n"
+       << "\"result\": " << result_json << "\n"
+       << "}";
+    return os.str();
+}
+
+std::string
+toJson(const SweepReport &report)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "\"skybyte_sweep_report\": 1,\n"
+       << "\"sweep\": \"" << report.sweep << "\",\n"
+       << "\"total_points\": " << report.totalPoints << ",\n"
+       << "\"shard_index\": " << report.shardIndex << ",\n"
+       << "\"shard_count\": " << report.shardCount << ",\n"
+       << "\"points\": [";
+    for (std::size_t i = 0; i < report.entries.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n") << report.entries[i].text;
+    }
+    os << "\n]\n}\n";
+    return os.str();
+}
+
+SweepReport
+parseSweepReport(const std::string &text)
+{
+    SweepReport report;
+    JsonScanner scan(text);
+    scan.expect("\"skybyte_sweep_report\":");
+    if (scan.numberValue() != 1)
+        throw std::runtime_error("sweep report: unknown format version");
+    scan.expect("\"sweep\":");
+    report.sweep = scan.stringValue();
+    scan.expect("\"total_points\":");
+    report.totalPoints = scan.numberValue();
+    scan.expect("\"shard_index\":");
+    report.shardIndex = static_cast<std::uint32_t>(scan.numberValue());
+    scan.expect("\"shard_count\":");
+    report.shardCount = static_cast<std::uint32_t>(scan.numberValue());
+    scan.expect("\"points\":");
+    scan.consume('[');
+    while (!scan.lookingAt(']')) {
+        SweepReportEntry entry;
+        entry.text = scan.objectText();
+        // The index lives at a fixed spot inside the entry text.
+        JsonScanner inner(entry.text);
+        inner.expect("\"index\":");
+        entry.index = inner.numberValue();
+        report.entries.push_back(std::move(entry));
+        if (scan.lookingAt(','))
+            scan.consume(',');
+    }
+    return report;
+}
+
+SweepReport
+mergeSweepReports(const std::vector<SweepReport> &shards)
+{
+    if (shards.empty())
+        throw std::runtime_error("merge: no reports given");
+    SweepReport merged;
+    merged.sweep = shards.front().sweep;
+    merged.totalPoints = shards.front().totalPoints;
+    for (const SweepReport &shard : shards) {
+        if (shard.sweep != merged.sweep) {
+            throw std::runtime_error("merge: mixed sweeps: "
+                                     + merged.sweep + " vs "
+                                     + shard.sweep);
+        }
+        if (shard.totalPoints != merged.totalPoints) {
+            throw std::runtime_error("merge: total_points mismatch in "
+                                     + shard.sweep);
+        }
+        merged.entries.insert(merged.entries.end(),
+                              shard.entries.begin(),
+                              shard.entries.end());
+    }
+    std::sort(merged.entries.begin(), merged.entries.end(),
+              [](const SweepReportEntry &a, const SweepReportEntry &b) {
+                  return a.index < b.index;
+              });
+    if (merged.entries.size() != merged.totalPoints) {
+        throw std::runtime_error(
+            "merge: " + std::to_string(merged.entries.size())
+            + " entries for " + std::to_string(merged.totalPoints)
+            + " points (missing or extra shards?)");
+    }
+    for (std::size_t i = 0; i < merged.entries.size(); ++i) {
+        if (merged.entries[i].index != i) {
+            throw std::runtime_error(
+                "merge: duplicate or missing point index "
+                + std::to_string(i));
+        }
+    }
+    return merged;
 }
 
 } // namespace skybyte

@@ -2,14 +2,24 @@
  * @file
  * Result reporting: human-readable summary and JSON export of a
  * SimResult (the artifact writes result files per run; downstream
- * tooling wants machine-readable output).
+ * tooling wants machine-readable output), plus the mergeable sweep
+ * report format that lets sharded sweep runs recombine.
+ *
+ * Sweep reports are mergeable at the byte level: each point entry is
+ * serialized once (sweepEntryJson) and carried verbatim through
+ * parse/merge, and the writer is fully deterministic, so merging the N
+ * shard reports of a sweep reproduces the unsharded report
+ * bit-identically — CI can diff the two to prove a fan-out ran the
+ * same experiment.
  */
 
 #ifndef SKYBYTE_SIM_REPORT_H
 #define SKYBYTE_SIM_REPORT_H
 
+#include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "sim/system.h"
 
@@ -26,6 +36,52 @@ std::string toJson(const SimResult &res);
 
 /** Write toJson() to @p path. @throws std::runtime_error on failure. */
 void writeJsonFile(const SimResult &res, const std::string &path);
+
+/**
+ * One point of a sweep report: its index in the full cross product and
+ * the verbatim serialized entry object. The text is the unit of
+ * merging — parse and merge never re-serialize a result, so doubles
+ * survive untouched.
+ */
+struct SweepReportEntry
+{
+    std::size_t index = 0;
+    std::string text;
+};
+
+/** A (possibly partial) sweep run: manifest + per-point results. */
+struct SweepReport
+{
+    std::string sweep;
+    std::size_t totalPoints = 0;
+    /** Which shard this report covers; 0/1 = a complete run. */
+    std::uint32_t shardIndex = 0;
+    std::uint32_t shardCount = 1;
+    /** Entries sorted by index; a shard holds only the indices it owns. */
+    std::vector<SweepReportEntry> entries;
+};
+
+/** Serialize one point entry (the stable layout merging relies on). */
+std::string sweepEntryJson(std::size_t index, const std::string &id,
+                           const SimResult &res);
+
+/** Serialize a sweep report (deterministic byte layout). */
+std::string toJson(const SweepReport &report);
+
+/**
+ * Parse a sweep report, keeping each point entry's text verbatim.
+ * @throws std::runtime_error on malformed input.
+ */
+SweepReport parseSweepReport(const std::string &text);
+
+/**
+ * Combine shard reports of one sweep into the complete report
+ * (shard 0/1). Entry text is reused verbatim, so the result is
+ * byte-identical to an unsharded run of the same sweep.
+ * @throws std::runtime_error on sweep/total mismatch, duplicate or
+ *         missing point indices.
+ */
+SweepReport mergeSweepReports(const std::vector<SweepReport> &shards);
 
 } // namespace skybyte
 

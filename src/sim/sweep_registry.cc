@@ -1,0 +1,480 @@
+/**
+ * @file
+ * The paper's experiment grids as registered SweepSpecs — every figure,
+ * table and ablation sweep under a stable name. The bench binaries,
+ * skybyte_sweep and CI all execute these shared definitions, so a grid
+ * change lands everywhere at once. A bench file owns only its table
+ * printer; the point grid lives here.
+ *
+ * Axis order is apply order: axes that rebuild the config (variant and
+ * combined config axes) come before knob axes that tweak it.
+ */
+
+#include <cstdio>
+
+#include "sim/sweep.h"
+#include "trace/workload.h"
+
+namespace skybyte {
+namespace detail {
+
+void registerSweepUnlocked(SweepSpec spec); // sweep.cc
+
+namespace {
+
+/** Fig 9: context-switch trigger threshold (us) on SkyByte-Full. */
+SweepSpec
+fig09()
+{
+    SweepSpec s;
+    s.name = "fig09";
+    s.title = "context-switch trigger threshold sensitivity (2-80 us)";
+    s.axes.push_back(
+        workloadAxis({"bc", "bfs-dense", "srad", "tpcc"}));
+    SweepAxis axis{"cs_threshold_us", {}};
+    for (const double us : {2.0, 10.0, 20.0, 40.0, 60.0, 80.0}) {
+        axis.values.push_back(
+            {std::to_string(static_cast<int>(us)), [us](SweepPoint &p) {
+                 p.cfg.policy.csThreshold = usToTicks(us);
+             }});
+    }
+    s.axes.push_back(std::move(axis));
+    return s;
+}
+
+/** Fig 10: thread scheduling policies under coordinated switching. */
+SweepSpec
+fig10()
+{
+    SweepSpec s;
+    s.name = "fig10";
+    s.title = "thread scheduling policies (RR/Random/CFS)";
+    s.axes.push_back(workloadAxis({"bc", "radix", "srad", "tpcc"}));
+    SweepAxis axis{"policy", {}};
+    const std::pair<const char *, SchedPolicy> policies[] = {
+        {"RR", SchedPolicy::RoundRobin},
+        {"Random", SchedPolicy::Random},
+        {"CFS", SchedPolicy::Cfs}};
+    for (const auto &[label, policy] : policies) {
+        axis.values.push_back({label, [policy = policy](SweepPoint &p) {
+                                   p.cfg.policy.schedPolicy = policy;
+                               }});
+    }
+    s.axes.push_back(std::move(axis));
+    return s;
+}
+
+/** Figs 19/20: write log size with total SSD DRAM fixed. */
+SweepSpec
+logSizeSweep(const char *name, const char *title)
+{
+    SweepSpec s;
+    s.name = name;
+    s.title = title;
+    s.axes.push_back(paperWorkloadAxis());
+    SweepAxis axis{"log_kb", {}};
+    for (const std::uint64_t kb : {16ULL, 64ULL, 256ULL, 1024ULL,
+                                   2048ULL, 4096ULL}) {
+        axis.values.push_back(
+            {std::to_string(kb), [kb](SweepPoint &p) {
+                 // Re-split the SSD DRAM: kb KB of log, rest cache.
+                 const std::uint64_t total =
+                     p.cfg.ssdCache.writeLogBytes
+                     + p.cfg.ssdCache.dataCacheBytes;
+                 p.cfg.ssdCache.writeLogBytes = kb * 1024;
+                 p.cfg.ssdCache.dataCacheBytes = total - kb * 1024;
+             }});
+    }
+    s.axes.push_back(std::move(axis));
+    return s;
+}
+
+/** Fig 15: thread scaling (8 = SkyByte-WP baseline, rest Full). */
+SweepSpec
+fig15()
+{
+    SweepSpec s;
+    s.name = "fig15";
+    s.title = "throughput/bandwidth vs thread count (8-48)";
+    s.axes.push_back(paperWorkloadAxis());
+    SweepAxis axis{"threads", {}};
+    for (const int t : {8, 16, 24, 32, 40, 48}) {
+        // 8 threads = SkyByte-WP (no switching benefit at 1/core).
+        const std::string variant =
+            t == 8 ? "SkyByte-WP" : "SkyByte-Full";
+        axis.values.push_back(
+            {std::to_string(t), [t, variant](SweepPoint &p) {
+                 p.cfg = makeBenchConfig(variant);
+                 p.cfg.seed = p.opt.seed;
+                 p.opt.threadsOverride = t;
+             }});
+    }
+    s.axes.push_back(std::move(axis));
+    return s;
+}
+
+/** Fig 21: SSD DRAM size x variant (4:1 host ratio, 1:7 log split). */
+SweepSpec
+fig21()
+{
+    SweepSpec s;
+    s.name = "fig21";
+    s.title = "SSD DRAM size sweep across variants";
+    s.defaultInstrPerThread = 60'000;
+    s.axes.push_back(paperWorkloadAxis());
+    SweepAxis axis{"config", {}};
+    for (const std::uint64_t mb : {2ULL, 4ULL, 8ULL, 16ULL, 32ULL}) {
+        for (const char *v :
+             {"Base-CSSD", "SkyByte-P", "SkyByte-W", "SkyByte-WP",
+              "SkyByte-Full"}) {
+            const std::string variant = v;
+            axis.values.push_back(
+                {variant + "@" + std::to_string(mb) + "MB",
+                 [variant, mb](SweepPoint &p) {
+                     p.cfg = makeBenchConfig(variant);
+                     p.cfg.seed = p.opt.seed;
+                     const std::uint64_t total = mb * 1024 * 1024;
+                     p.cfg.ssdCache.writeLogBytes = total / 8;
+                     p.cfg.ssdCache.dataCacheBytes = total - total / 8;
+                     p.cfg.hostMem.promotedBytesMax = total * 4;
+                 }});
+        }
+    }
+    s.axes.push_back(std::move(axis));
+    return s;
+}
+
+/** Fig 22 / Table IV: NAND families x SkyByte configurations. */
+SweepSpec
+fig22()
+{
+    SweepSpec s;
+    s.name = "fig22";
+    s.title = "NAND flash families x SkyByte configs";
+    s.defaultInstrPerThread = 60'000;
+    s.axes.push_back(paperWorkloadAxis());
+    SweepAxis config{"config", {}};
+    struct Config
+    {
+        const char *label;
+        const char *variant;
+        int threads; // 0 = paper default
+    };
+    const Config configs[] = {
+        {"SkyByte-P", "SkyByte-P", 0},   {"SkyByte-W", "SkyByte-W", 0},
+        {"SkyByte-WP", "SkyByte-WP", 0}, {"Full-16", "SkyByte-Full", 16},
+        {"Full-24", "SkyByte-Full", 24}, {"Full-32", "SkyByte-Full", 32}};
+    for (const Config &c : configs) {
+        const std::string v = c.variant;
+        const int t = c.threads;
+        config.values.push_back({c.label, [v, t](SweepPoint &p) {
+                                     p.cfg = makeBenchConfig(v);
+                                     p.cfg.seed = p.opt.seed;
+                                     p.opt.threadsOverride = t;
+                                 }});
+    }
+    s.axes.push_back(std::move(config));
+    SweepAxis nand{"nand", {}};
+    for (const NandType type : {NandType::ULL, NandType::ULL2,
+                                NandType::SLC, NandType::MLC}) {
+        nand.values.push_back(
+            {nandTypeName(type), [type](SweepPoint &p) {
+                 p.cfg.flash.timing = nandTiming(type);
+             }});
+    }
+    s.axes.push_back(std::move(nand));
+    return s;
+}
+
+/** Fig 23: page-migration mechanisms. */
+SweepSpec
+fig23()
+{
+    SweepSpec s;
+    s.name = "fig23";
+    s.title = "page migration mechanisms (TPP/AstriFlash/"
+        "SkyByte)";
+    s.axes.push_back(paperWorkloadAxis());
+    SweepAxis axis{"mechanism", {}};
+    for (const char *v : {"SkyByte-C", "AstriFlash-CXL", "SkyByte-CT",
+                          "SkyByte-CP", "SkyByte-WCT", "SkyByte-Full"}) {
+        const std::string variant = v;
+        axis.values.push_back({variant, [variant](SweepPoint &p) {
+                                   p.cfg = makeBenchConfig(variant);
+                                   p.cfg.seed = p.opt.seed;
+                                   if (variant == "AstriFlash-CXL") {
+                                       // User-level switches are much
+                                       // cheaper than an OS switch [23].
+                                       p.cfg.policy.ctxSwitchOverhead =
+                                           p.cfg.policy
+                                               .astriSwitchOverhead;
+                                   }
+                               }});
+    }
+    s.axes.push_back(std::move(axis));
+    return s;
+}
+
+/** Figs 5/6: footprint:cache ratio sweep on Base-CSSD. */
+SweepSpec
+localitySweep(const char *name, const char *title, bool disable_log)
+{
+    SweepSpec s;
+    s.name = name;
+    s.title = title;
+    s.baseVariant = "Base-CSSD";
+    s.defaultInstrPerThread = 80'000;
+    s.axes.push_back(workloadAxis({"bc", "dlrm", "radix", "ycsb"}));
+    SweepAxis axis{"ratio", {}};
+    for (const std::uint64_t n : {4ULL, 8ULL, 16ULL, 32ULL, 64ULL}) {
+        axis.values.push_back(
+            {"1:" + std::to_string(n), [n, disable_log](SweepPoint &p) {
+                 // Fix the footprint, scale the cache to footprint/n.
+                 p.opt.footprintBytes = 128ULL * 1024 * 1024;
+                 p.cfg.ssdCache.dataCacheBytes =
+                     p.opt.footprintBytes / n;
+                 if (disable_log)
+                     p.cfg.ssdCache.writeLogBytes = 0;
+             }});
+    }
+    s.axes.push_back(std::move(axis));
+    return s;
+}
+
+/** Ablation: fixed-latency vs banked DRAM timing. */
+SweepSpec
+ablDramModel()
+{
+    SweepSpec s;
+    s.name = "abl_dram_model";
+    s.title = "DRAM timing model ablation (fixed vs banked)";
+    s.axes.push_back(workloadAxis({"bc", "srad", "tpcc", "ycsb"}));
+    s.axes.push_back(variantAxis({"Base-CSSD", "SkyByte-Full"}));
+    SweepAxis axis{"dram_model", {}};
+    axis.values.push_back({"fixed", nullptr});
+    axis.values.push_back({"banked", [](SweepPoint &p) {
+                               p.cfg.hostDram.bank = ddr5BankTiming();
+                               p.cfg.ssdDram.bank = lpddr4BankTiming();
+                           }});
+    s.axes.push_back(std::move(axis));
+    return s;
+}
+
+/** Ablation: GC threshold x wear-aware allocation on Base-CSSD. */
+SweepSpec
+ablGcWear()
+{
+    SweepSpec s;
+    s.name = "abl_gc_wear";
+    s.title = "GC threshold x wear-aware allocation ablation";
+    // Base-CSSD: page-granular writebacks keep the flash programming
+    // (SkyByte's write log would coalesce most GC pressure away).
+    s.baseVariant = "Base-CSSD";
+    s.axes.push_back(workloadAxis({"srad", "bfs-dense"}));
+    SweepAxis axis{"gc", {}};
+    for (const double threshold : {0.10, 0.20, 0.40}) {
+        for (const bool wear : {false, true}) {
+            char label[48];
+            std::snprintf(label, sizeof(label), "gc=%.0f%%%s",
+                          threshold * 100.0, wear ? "/wear" : "");
+            axis.values.push_back(
+                {label, [threshold, wear](SweepPoint &p) {
+                     p.cfg.flash.gcFreeBlockThreshold = threshold;
+                     p.cfg.flash.gcRestoreThreshold = threshold + 0.05;
+                     p.cfg.flash.wearAwareAllocation = wear;
+                 }});
+        }
+    }
+    s.axes.push_back(std::move(axis));
+    return s;
+}
+
+/** Ablation: migration granularity (4 KB / 64 KB / 2 MB / none). */
+SweepSpec
+ablHugepage()
+{
+    SweepSpec s;
+    s.name = "abl_hugepage";
+    s.title = "migration granularity ablation "
+        "(huge pages via two-level PLB)";
+    s.axes.push_back(workloadAxis({"bc", "tpcc", "ycsb", "radix"}));
+    SweepAxis axis{"granularity", {}};
+    struct Mode
+    {
+        const char *label;
+        std::uint64_t hugeBytes;
+        bool promote;
+    };
+    const Mode modes[] = {{"no-migration", 0, false},
+                          {"4KB-pages", 0, true},
+                          {"64KB-regions", 64ULL * 1024, true},
+                          {"2MB-huge", 2ULL * 1024 * 1024, true}};
+    for (const Mode &mode : modes) {
+        const std::uint64_t bytes = mode.hugeBytes;
+        const bool promote = mode.promote;
+        axis.values.push_back(
+            {mode.label, [bytes, promote](SweepPoint &p) {
+                 p.cfg = makeBenchConfig(promote ? "SkyByte-Full"
+                                                 : "SkyByte-W");
+                 p.cfg.seed = p.opt.seed;
+                 p.cfg.hostMem.hugePageBytes = bytes;
+             }});
+    }
+    s.axes.push_back(std::move(axis));
+    return s;
+}
+
+/** Ablation: MSHR handling on context-switch squash. */
+SweepSpec
+ablMshrFree()
+{
+    SweepSpec s;
+    s.name = "abl_mshr_free";
+    s.title = "MSHR free-on-squash vs hold-until-fill ablation";
+    s.axes.push_back(workloadAxis({"bc", "bfs-dense", "srad", "ycsb"}));
+    SweepAxis axis{"mshr", {}};
+    for (const bool free_mshr : {true, false}) {
+        axis.values.push_back(
+            {free_mshr ? "free-on-squash" : "hold-until-fill",
+             [free_mshr](SweepPoint &p) {
+                 p.cfg.cpu.freeMshrOnSquash = free_mshr;
+             }});
+    }
+    s.axes.push_back(std::move(axis));
+    return s;
+}
+
+/** Ablation: hot-page promotion threshold. */
+SweepSpec
+ablPromotion()
+{
+    SweepSpec s;
+    s.name = "abl_promotion";
+    s.title = "hot-page promotion threshold sensitivity";
+    s.axes.push_back(workloadAxis({"bc", "tpcc", "ycsb", "bfs-dense"}));
+    SweepAxis axis{"hot", {}};
+    for (const std::uint32_t threshold : {2u, 8u, 32u, 128u, 512u}) {
+        axis.values.push_back(
+            {"hot=" + std::to_string(threshold),
+             [threshold](SweepPoint &p) {
+                 p.cfg.policy.hotPageThreshold = threshold;
+             }});
+    }
+    s.axes.push_back(std::move(axis));
+    return s;
+}
+
+/** Ablation: demotion victim selection under a tight host budget. */
+SweepSpec
+ablReclaim()
+{
+    SweepSpec s;
+    s.name = "abl_reclaim";
+    s.title = "reclaim policy ablation (lru-scan vs active-inactive)";
+    s.axes.push_back(workloadAxis({"bc", "tpcc", "ycsb", "dlrm"}));
+    SweepAxis axis{"reclaim", {}};
+    for (const ReclaimPolicy policy :
+         {ReclaimPolicy::LruScan, ReclaimPolicy::ActiveInactive}) {
+        axis.values.push_back(
+            {policy == ReclaimPolicy::LruScan ? "lru-scan"
+                                              : "active-inactive",
+             [policy](SweepPoint &p) {
+                 // 1/32 of the default budget plus an eager promotion
+                 // threshold: the hot set must overflow the host so
+                 // the reclaim path actually runs.
+                 p.cfg.hostMem.promotedBytesMax /= 32;
+                 p.cfg.policy.hotPageThreshold = 8;
+                 p.cfg.hostMem.reclaim = policy;
+             }});
+    }
+    s.axes.push_back(std::move(axis));
+    return s;
+}
+
+/** workload x variant grid (the most common figure shape). */
+SweepSpec
+variantGrid(const char *name, const char *title,
+            std::vector<std::string> workloads,
+            std::vector<std::string> variants,
+            std::uint64_t instr)
+{
+    SweepSpec s;
+    s.name = name;
+    s.title = title;
+    s.defaultInstrPerThread = instr;
+    s.axes.push_back(workloadAxis(std::move(workloads)));
+    s.axes.push_back(variantAxis(std::move(variants)));
+    return s;
+}
+
+} // namespace
+
+void
+registerBuiltinSweeps()
+{
+    const std::vector<std::string> paper = paperWorkloadNames();
+
+    registerSweepUnlocked(variantGrid(
+        "fig02", "DRAM vs Base-CSSD end-to-end execution time", paper,
+        {"DRAM-Only", "Base-CSSD"}, 120'000));
+    registerSweepUnlocked(variantGrid(
+        "fig03", "off-chip access latency CDFs (DRAM vs CXL-SSD)",
+        {"bc", "bfs-dense", "srad", "tpcc"},
+        {"DRAM-Only", "Base-CSSD"}, 100'000));
+    registerSweepUnlocked(variantGrid(
+        "fig04", "memory- vs compute-bounded cycle breakdown", paper,
+        {"DRAM-Only", "Base-CSSD"}, 120'000));
+    registerSweepUnlocked(localitySweep(
+        "fig05", "cachelines accessed per cached page (read locality)",
+        true));
+    registerSweepUnlocked(localitySweep(
+        "fig06", "cachelines dirty per flushed page (write locality)",
+        false));
+    registerSweepUnlocked(fig09());
+    registerSweepUnlocked(fig10());
+    registerSweepUnlocked(variantGrid(
+        "fig14", "headline ablation: all variants vs Base-CSSD", paper,
+        allVariantNames(), 150'000));
+    registerSweepUnlocked(fig15());
+    registerSweepUnlocked(variantGrid(
+        "fig16", "memory request breakdown under SkyByte-Full", paper,
+        {"SkyByte-Full"}, 120'000));
+    registerSweepUnlocked(variantGrid(
+        "fig17", "AMAT and its component breakdown", paper,
+        {"Base-CSSD", "SkyByte-P", "SkyByte-W", "SkyByte-WP",
+         "SkyByte-Full", "DRAM-Only"},
+        100'000));
+    registerSweepUnlocked(variantGrid(
+        "fig18", "flash write traffic by variant", paper,
+        {"Base-CSSD", "SkyByte-P", "SkyByte-C", "SkyByte-W",
+         "SkyByte-CP", "SkyByte-WP", "SkyByte-Full"},
+        150'000));
+    registerSweepUnlocked(logSizeSweep(
+        "fig19", "execution time vs write log size"));
+    registerSweepUnlocked(logSizeSweep(
+        "fig20", "flash write traffic vs write log size"));
+    registerSweepUnlocked(fig21());
+    registerSweepUnlocked(fig22());
+    registerSweepUnlocked(fig23());
+    registerSweepUnlocked(variantGrid(
+        "table1", "workload characteristics on Base-CSSD", paper,
+        {"Base-CSSD"}, 120'000));
+    registerSweepUnlocked(variantGrid(
+        "table3", "flash read latency of SkyByte-WP demand fetches",
+        paper, {"SkyByte-WP"}, 120'000));
+    registerSweepUnlocked(ablDramModel());
+    registerSweepUnlocked(ablGcWear());
+    registerSweepUnlocked(ablHugepage());
+    registerSweepUnlocked(ablMshrFree());
+    registerSweepUnlocked(ablPromotion());
+    registerSweepUnlocked(ablReclaim());
+
+    // Tiny 2x2 grid for CI shard/merge checks and quick demos.
+    SweepSpec smoke = variantGrid(
+        "smoke", "tiny 2x2 grid for CI shard/merge checks",
+        {"ycsb", "srad"}, {"Base-CSSD", "SkyByte-Full"}, 4'000);
+    registerSweepUnlocked(std::move(smoke));
+}
+
+} // namespace detail
+} // namespace skybyte

@@ -87,7 +87,8 @@ MemRouter::write(const MemRequest &req, Tick when)
 
 System::System(const SimConfig &cfg, const std::string &workload_name,
                const WorkloadParams &params)
-    : cfg_(cfg), params_(params)
+    : cfg_(cfg), params_(params),
+      eq_(cfg_.kernel.calendarWindowTicks, cfg_.kernel.slabChunkRecords)
 {
     params_.numThreads = std::max(params_.numThreads, 1);
     params_.seed = cfg_.seed;
@@ -99,7 +100,8 @@ System::System(const SimConfig &cfg, const std::string &workload_name,
 
 System::System(const SimConfig &cfg, std::unique_ptr<Workload> workload,
                std::function<std::unique_ptr<Workload>()> warm_factory)
-    : cfg_(cfg)
+    : cfg_(cfg),
+      eq_(cfg_.kernel.calendarWindowTicks, cfg_.kernel.slabChunkRecords)
 {
     workload_ = std::move(workload);
     params_.numThreads = workload_->numThreads();

@@ -255,5 +255,55 @@ TEST(EventQueue, MatchesLegacyKernelOnRandomSchedules)
     EXPECT_EQ(a, b);
 }
 
+TEST(EventQueue, WindowAndChunkKnobsNeverChangeExecutionOrder)
+{
+    // The calendar window and slab chunk size are wall-clock tuning
+    // knobs (SimConfig::kernel); any window must produce the exact
+    // event order of the default, including heavy overflow traffic
+    // when the window is tiny.
+    auto drive = [](auto &eq) {
+        std::vector<std::pair<Tick, int>> log;
+        std::uint32_t rng = 0x5eedf00du;
+        auto next = [&rng] {
+            rng ^= rng << 13;
+            rng ^= rng >> 17;
+            rng ^= rng << 5;
+            return rng;
+        };
+        int id = 0;
+        for (int i = 0; i < 512; ++i) {
+            const Tick when = next() % (3 * EventQueue::kWindowTicks);
+            const int my = id++;
+            eq.schedule(when, [&, my] {
+                log.emplace_back(eq.now(), my);
+                if (log.size() < 2000) {
+                    const Tick d = next() % 70'000;
+                    const int child = id++;
+                    eq.scheduleAfter(d, [&, child] {
+                        log.emplace_back(eq.now(), child);
+                    });
+                }
+            });
+        }
+        eq.run();
+        return log;
+    };
+    EventQueue defaults;
+    const auto reference = drive(defaults);
+    for (const std::size_t window : {64u, 1024u, 65536u}) {
+        EventQueue tuned(window, 16);
+        EXPECT_EQ(drive(tuned), reference) << "window " << window;
+    }
+}
+
+TEST(EventQueue, RejectsInvalidKernelKnobs)
+{
+    EXPECT_THROW(EventQueue(0), std::invalid_argument);
+    EXPECT_THROW(EventQueue(32), std::invalid_argument);   // < 64
+    EXPECT_THROW(EventQueue(1000), std::invalid_argument); // not 2^n
+    EXPECT_THROW(EventQueue(8192, 0), std::invalid_argument);
+    EXPECT_NO_THROW(EventQueue(64, 1));
+}
+
 } // namespace
 } // namespace skybyte

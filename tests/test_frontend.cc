@@ -79,6 +79,55 @@ numa_sockets=2
     EXPECT_EQ(spec.config.numa.sockets, 2u);
 }
 
+TEST(ConfigFile, ParsesKernelKnobs)
+{
+    ExperimentSpec spec;
+    std::istringstream in(R"(
+calendar_window_ticks=1024
+slab_chunk_records=64
+)");
+    applyConfigStream(in, spec);
+    EXPECT_EQ(spec.config.kernel.calendarWindowTicks, 1024u);
+    EXPECT_EQ(spec.config.kernel.slabChunkRecords, 64u);
+}
+
+TEST(ConfigFile, RejectsBadKernelKnobs)
+{
+    for (const char *bad :
+         {"calendar_window_ticks=1000", // not a power of two
+          "calendar_window_ticks=32",   // below the bitmap word size
+          "calendar_window_ticks=0",
+          "calendar_window_ticks=4294967296", // 2^32: truncates to 0
+          "slab_chunk_records=0",
+          "slab_chunk_records=4294967808"}) { // 2^32+512
+
+        ExperimentSpec spec;
+        std::istringstream in(bad);
+        EXPECT_THROW(applyConfigStream(in, spec), std::invalid_argument)
+            << bad;
+    }
+}
+
+TEST(KernelKnobs, SimulationResultsAreWindowInvariant)
+{
+    // The calendar window / slab chunk knobs tune wall-clock only:
+    // the same run under a tiny window (heavy overflow churn) must
+    // produce bit-identical results.
+    ExperimentOptions opt;
+    opt.instrPerThread = 3'000;
+    SimConfig base = makeBenchConfig("SkyByte-Full");
+    SimConfig tuned = base;
+    tuned.kernel.calendarWindowTicks = 256;
+    tuned.kernel.slabChunkRecords = 8;
+    const SimResult a = runConfig(base, "ycsb", opt);
+    const SimResult b = runConfig(tuned, "ycsb", opt);
+    EXPECT_EQ(a.execTime, b.execTime);
+    EXPECT_EQ(a.committedInstructions, b.committedInstructions);
+    EXPECT_EQ(a.flashHostPrograms, b.flashHostPrograms);
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+    EXPECT_EQ(a.cxlBytes, b.cxlBytes);
+}
+
 TEST(ConfigFile, BankModelCanBeTurnedBackOff)
 {
     ExperimentSpec spec;

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the mergeable sweep-report format: parse round-trips keep
+ * point entries byte-verbatim, merging shard reports reconstructs the
+ * unsharded report bit-identically (the property CI relies on to fan
+ * sweeps across jobs), and malformed/incomplete merges are rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/report.h"
+#include "sim/sweep.h"
+
+namespace skybyte {
+namespace {
+
+/** Serialize one shard run of @p spec exactly like skybyte_sweep. */
+SweepReport
+reportFor(const SweepSpec &spec, const ExperimentOptions &opt,
+          const ShardSpec &shard)
+{
+    const SweepExecution exec = runSweepShard(spec, opt, shard, 2);
+    SweepReport report;
+    report.sweep = spec.name;
+    report.totalPoints = exec.totalPoints;
+    report.shardIndex = shard.index;
+    report.shardCount = shard.count;
+    for (std::size_t i = 0; i < exec.points.size(); ++i) {
+        const LabeledPoint &lp = exec.points[i];
+        report.entries.push_back(
+            {lp.index,
+             sweepEntryJson(lp.index, lp.id(), exec.results[i])});
+    }
+    return report;
+}
+
+TEST(SweepReport, ParseRoundTripsVerbatim)
+{
+    SweepReport report;
+    report.sweep = "smoke";
+    report.totalPoints = 2;
+    report.shardIndex = 0;
+    report.shardCount = 1;
+    SimResult res;
+    res.variant = "Base-CSSD";
+    res.workload = "ycsb";
+    res.execTime = 12345;
+    report.entries.push_back({0, sweepEntryJson(0, "ycsb/a", res)});
+    res.workload = "srad";
+    res.execTime = 54321;
+    report.entries.push_back({1, sweepEntryJson(1, "srad/a", res)});
+
+    const std::string text = toJson(report);
+    const SweepReport parsed = parseSweepReport(text);
+    EXPECT_EQ(parsed.sweep, report.sweep);
+    EXPECT_EQ(parsed.totalPoints, report.totalPoints);
+    EXPECT_EQ(parsed.shardIndex, report.shardIndex);
+    EXPECT_EQ(parsed.shardCount, report.shardCount);
+    ASSERT_EQ(parsed.entries.size(), report.entries.size());
+    for (std::size_t i = 0; i < parsed.entries.size(); ++i) {
+        EXPECT_EQ(parsed.entries[i].index, report.entries[i].index);
+        EXPECT_EQ(parsed.entries[i].text, report.entries[i].text);
+    }
+    // Serializing the parse result reproduces the exact bytes.
+    EXPECT_EQ(toJson(parsed), text);
+}
+
+TEST(SweepReport, ThreeShardFig09MergeIsByteIdenticalToUnsharded)
+{
+    const SweepSpec *spec = findSweep("fig09");
+    ASSERT_NE(spec, nullptr);
+    ExperimentOptions opt;
+    opt.instrPerThread = 1'000;
+
+    const std::string full = toJson(reportFor(*spec, opt, {0, 1}));
+
+    std::vector<SweepReport> shards;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+        // Round-trip each shard through its serialized form, exactly
+        // as the CLI does when merging files from other CI jobs.
+        shards.push_back(
+            parseSweepReport(toJson(reportFor(*spec, opt, {i, 3}))));
+    }
+    const SweepReport merged = mergeSweepReports(shards);
+    EXPECT_EQ(merged.shardIndex, 0u);
+    EXPECT_EQ(merged.shardCount, 1u);
+    EXPECT_EQ(toJson(merged), full);
+}
+
+TEST(SweepReport, MergeRejectsIncompleteAndMismatchedShards)
+{
+    const SweepSpec *spec = findSweep("smoke");
+    ASSERT_NE(spec, nullptr);
+    ExperimentOptions opt;
+    opt.instrPerThread = 1'000;
+    const SweepReport s0 = reportFor(*spec, opt, {0, 2});
+    const SweepReport s1 = reportFor(*spec, opt, {1, 2});
+
+    EXPECT_NO_THROW(mergeSweepReports({s0, s1}));
+    // Missing a shard.
+    EXPECT_THROW(mergeSweepReports({s0}), std::runtime_error);
+    // Same shard twice.
+    EXPECT_THROW(mergeSweepReports({s0, s0}), std::runtime_error);
+    // Mixed sweeps.
+    SweepReport other = s1;
+    other.sweep = "fig09";
+    EXPECT_THROW(mergeSweepReports({s0, other}), std::runtime_error);
+    // Mismatched manifests.
+    SweepReport trimmed = s1;
+    trimmed.totalPoints = 3;
+    EXPECT_THROW(mergeSweepReports({s0, trimmed}), std::runtime_error);
+    EXPECT_THROW(mergeSweepReports({}), std::runtime_error);
+}
+
+TEST(SweepReport, ParseRejectsGarbage)
+{
+    EXPECT_THROW(parseSweepReport("not json"), std::runtime_error);
+    EXPECT_THROW(parseSweepReport("{\"skybyte_sweep_report\": 2}"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        parseSweepReport("{\"skybyte_sweep_report\": 1, "
+                         "\"sweep\": \"x\", \"total_points\": 1, "
+                         "\"shard_index\": 0, \"shard_count\": 1, "
+                         "\"points\": [{\"index\": 0"),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace skybyte

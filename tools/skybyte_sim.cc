@@ -9,12 +9,15 @@
  *   -b/-w/-t  config files applied in order (key=value lines)
  *   -k        inline override, e.g. -k cs_threshold=2000
  *   -c        number of simulated cores
- *   -f        write the result as JSON to this file
+ *   -f        write the result as JSON to this file ("-" = stdout)
  *   -p        print detailed runtime information (summary to stdout)
  *   -d        run with effectively infinite host DRAM for promotions
  *   -r        output DRAM-only performance results (ideal baseline)
  *
- * With no arguments it runs a demonstration configuration.
+ * With no arguments it runs a demonstration configuration. Exits 2
+ * when the run hit the safety tick limit (timedOut), so scripted
+ * sweeps can detect truncated runs; with "-f -" the progress line is
+ * suppressed and stdout carries only the JSON.
  */
 
 #include <cstdio>
@@ -91,15 +94,18 @@ main(int argc, char **argv)
     try {
         System system(spec.config, spec.workloadName, spec.params);
         SimResult res = system.run();
+        const bool json_to_stdout = out_path == "-";
         if (print_details)
-            printSummary(res, std::cout);
-        else
+            printSummary(res, json_to_stdout ? std::cerr : std::cout);
+        else if (!json_to_stdout)
             std::printf("%s/%s: %.3f ms, %lu instructions\n",
                         res.variant.c_str(), res.workload.c_str(),
                         res.execMs(),
                         static_cast<unsigned long>(
                             res.committedInstructions));
-        if (!out_path.empty()) {
+        if (json_to_stdout) {
+            std::cout << toJson(res);
+        } else if (!out_path.empty()) {
             writeJsonFile(res, out_path);
             std::printf("wrote %s\n", out_path.c_str());
         }

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Driver for the registered experiment sweeps:
+ *
+ *   skybyte_sweep --list
+ *       Enumerate every registered figure/table/ablation sweep.
+ *   skybyte_sweep --points <name>
+ *       Print the labeled point grid of one sweep.
+ *   skybyte_sweep --run <name> [--shard i/N] [-o out.json] [-j n]
+ *       Run one sweep (or one shard of it) on the worker pool and
+ *       write the mergeable JSON report. "-o -" writes to stdout.
+ *       Exits 3 when any point timed out.
+ *   skybyte_sweep --merge a.json b.json... [-o out.json]
+ *       Recombine shard reports; the output is byte-identical to an
+ *       unsharded run of the same sweep.
+ *
+ * Scale knobs are the bench ones (SKYBYTE_BENCH_INSTR/THREADS/
+ * FOOTPRINT_MB, SKYBYTE_BENCH_NTHREADS); SKYBYTE_SWEEP_SHARD is the
+ * environment form of --shard, which CI uses to fan a sweep across
+ * jobs.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/report.h"
+#include "sim/sweep.h"
+
+using namespace skybyte;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: skybyte_sweep --list\n"
+        "       skybyte_sweep --points <name>\n"
+        "       skybyte_sweep --run <name> [--shard i/N] [-o out.json]"
+        " [-j nthreads]\n"
+        "       skybyte_sweep --merge a.json b.json... [-o out.json]\n");
+}
+
+int
+listSweeps()
+{
+    std::printf("%-16s %7s  %s\n", "name", "points", "title");
+    for (const SweepSpec *spec : registeredSweeps()) {
+        std::printf("%-16s %7zu  %s\n", spec->name.c_str(),
+                    spec->pointCount(), spec->title.c_str());
+    }
+    return 0;
+}
+
+int
+listPoints(const std::string &name)
+{
+    const SweepSpec *spec = findSweep(name);
+    if (spec == nullptr) {
+        std::fprintf(stderr, "skybyte_sweep: unknown sweep: %s\n",
+                     name.c_str());
+        return 1;
+    }
+    const ExperimentOptions opt = spec->optionsFromEnv();
+    for (const LabeledPoint &lp : spec->expand(opt)) {
+        std::printf("%4zu  %s\n", lp.index, lp.id().c_str());
+    }
+    return 0;
+}
+
+void
+writeReport(const SweepReport &report, const std::string &path)
+{
+    const std::string text = toJson(report);
+    if (path == "-") {
+        std::fwrite(text.data(), 1, text.size(), stdout);
+        return;
+    }
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot open output file: " + path);
+    out << text;
+    if (!out)
+        throw std::runtime_error("short write: " + path);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+int
+runSweepCmd(const std::string &name, const std::string &shard_arg,
+            std::string out_path, int nthreads)
+{
+    const SweepSpec *spec = findSweep(name);
+    if (spec == nullptr) {
+        std::fprintf(stderr, "skybyte_sweep: unknown sweep: %s\n",
+                     name.c_str());
+        return 1;
+    }
+    const ShardSpec shard =
+        shard_arg.empty() ? shardFromEnv() : parseShard(shard_arg);
+    if (out_path.empty()) {
+        out_path = name;
+        if (shard.count > 1) {
+            out_path += ".shard" + std::to_string(shard.index) + "_"
+                        + std::to_string(shard.count);
+        }
+        out_path += ".json";
+    }
+
+    const ExperimentOptions opt = spec->optionsFromEnv();
+    const SweepExecution exec =
+        runSweepShard(*spec, opt, shard, nthreads);
+
+    SweepReport report;
+    report.sweep = spec->name;
+    report.totalPoints = exec.totalPoints;
+    report.shardIndex = shard.index;
+    report.shardCount = shard.count;
+    bool timed_out = false;
+    for (std::size_t i = 0; i < exec.points.size(); ++i) {
+        const LabeledPoint &lp = exec.points[i];
+        report.entries.push_back(
+            {lp.index,
+             sweepEntryJson(lp.index, lp.id(), exec.results[i])});
+        timed_out = timed_out || exec.results[i].timedOut;
+    }
+    writeReport(report, out_path);
+    std::fprintf(stderr, "%s: %zu/%zu points (shard %u/%u)%s\n",
+                 spec->name.c_str(), exec.points.size(),
+                 exec.totalPoints, shard.index, shard.count,
+                 timed_out ? " [TIMED OUT]" : "");
+    return timed_out ? 3 : 0;
+}
+
+int
+mergeCmd(const std::vector<std::string> &paths, std::string out_path)
+{
+    std::vector<SweepReport> shards;
+    shards.reserve(paths.size());
+    for (const std::string &path : paths) {
+        std::ifstream in(path);
+        if (!in)
+            throw std::runtime_error("cannot open report: " + path);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        shards.push_back(parseSweepReport(buf.str()));
+    }
+    const SweepReport merged = mergeSweepReports(shards);
+    if (out_path.empty())
+        out_path = merged.sweep + ".json";
+    writeReport(merged, out_path);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string mode;
+    std::string name;
+    std::string shard_arg;
+    std::string out_path;
+    std::vector<std::string> merge_paths;
+    int nthreads = 0;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    throw std::invalid_argument("missing value for "
+                                                + arg);
+                return argv[++i];
+            };
+            if (arg == "--list") {
+                mode = "list";
+            } else if (arg == "--points") {
+                mode = "points";
+                name = next();
+            } else if (arg == "--run") {
+                mode = "run";
+                name = next();
+            } else if (arg == "--merge") {
+                mode = "merge";
+            } else if (arg == "--shard") {
+                shard_arg = next();
+            } else if (arg == "-o" || arg == "--output") {
+                out_path = next();
+            } else if (arg == "-j" || arg == "--nthreads") {
+                nthreads = std::stoi(next());
+            } else if (arg == "-h" || arg == "--help") {
+                usage();
+                return 0;
+            } else if (mode == "merge" && !arg.empty()
+                       && arg[0] != '-') {
+                merge_paths.push_back(arg);
+            } else {
+                throw std::invalid_argument("unknown option: " + arg);
+            }
+        }
+        if (mode.empty())
+            throw std::invalid_argument("pick one of --list/--points/"
+                                        "--run/--merge");
+
+        if (mode == "list")
+            return listSweeps();
+        if (mode == "points")
+            return listPoints(name);
+        if (mode == "run")
+            return runSweepCmd(name, shard_arg, out_path, nthreads);
+        if (merge_paths.empty())
+            throw std::invalid_argument("--merge needs report files");
+        return mergeCmd(merge_paths, out_path);
+    } catch (const std::invalid_argument &e) {
+        std::fprintf(stderr, "skybyte_sweep: %s\n", e.what());
+        usage();
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "skybyte_sweep: %s\n", e.what());
+        return 2;
+    }
+}
