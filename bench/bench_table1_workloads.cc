@@ -35,8 +35,9 @@ main(int argc, char **argv)
             params.instrPerThread = 200'000;
             auto wl = makeWorkload(w, params);
             std::uint64_t writes = 0, mem_ops = 0;
+            TraceCursor cursor(*wl, 0);
             TraceRecord rec;
-            while (wl->next(0, rec)) {
+            while (cursor.next(rec)) {
                 mem_ops++;
                 writes += rec.isWrite ? 1 : 0;
             }

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Front-end microbenchmark for the batched workload-stream API: drains
+ * generator records through (a) the batched TraceBatch contract — one
+ * virtual refill per 256 records, consumption is a flat pointer walk —
+ * and (b) the seed's per-record contract, reproduced by
+ * SingleRecordWorkload (one virtual call + batch bookkeeping per
+ * record). Reported records/sec quantify how much of the front-end
+ * profile the generator boundary costs; the end-of-run gate asserts
+ * the batched path is not slower, i.e. the virtual boundary no longer
+ * dominates generation.
+ *
+ * Run: ./bench_workload_stream [--benchmark_min_time=...]
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "trace/workload.h"
+
+using namespace skybyte;
+
+namespace {
+
+constexpr std::uint64_t kInstrPerThread = 4'000'000;
+
+WorkloadParams
+benchParams()
+{
+    WorkloadParams params;
+    params.numThreads = 1;
+    params.instrPerThread = kInstrPerThread;
+    params.footprintBytes = 64ULL * 1024 * 1024;
+    return params;
+}
+
+/** Consume every record of thread 0, returning a checksum + count. */
+std::pair<std::uint64_t, std::uint64_t>
+drain(Workload &workload)
+{
+    TraceBatch batch;
+    std::uint64_t checksum = 0;
+    std::uint64_t records = 0;
+    std::uint32_t n;
+    while ((n = workload.refill(0, batch)) != 0) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const TraceRecord &rec = batch.records[i];
+            checksum ^= rec.vaddr + rec.computeOps
+                        + (rec.isWrite ? 1 : 0);
+        }
+        records += n;
+    }
+    return {checksum, records};
+}
+
+/** records/sec of the batched and per-record paths, keyed by spec. */
+std::map<std::string, std::pair<double, double>> &
+ratePerSpec()
+{
+    static std::map<std::string, std::pair<double, double>> rates;
+    return rates;
+}
+
+void
+BM_Stream(benchmark::State &state, const std::string &spec, bool batched)
+{
+    std::uint64_t records = 0;
+    double seconds = 0;
+    for (auto _ : state) {
+        std::unique_ptr<Workload> workload =
+            makeWorkload(spec, benchParams());
+        if (!batched) {
+            workload = std::make_unique<SingleRecordWorkload>(
+                std::move(workload));
+        }
+        const auto start = std::chrono::steady_clock::now();
+        auto [checksum, n] = drain(*workload);
+        const auto end = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(checksum);
+        records += n;
+        const double elapsed =
+            std::chrono::duration<double>(end - start).count();
+        seconds += elapsed;
+        state.SetIterationTime(elapsed);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(records));
+    const double rate =
+        static_cast<double>(records) / std::max(seconds, 1e-12);
+    auto &slot = ratePerSpec()[spec];
+    (batched ? slot.first : slot.second) = rate;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string specs[] = {
+        "ycsb", "bc", "tpcc",
+        "zipf:theta=0.99", "scan:stride=64", "ptrchase:chain=64",
+    };
+    for (const std::string &spec : specs) {
+        for (const bool batched : {true, false}) {
+            benchmark::RegisterBenchmark(
+                ("stream/" + spec
+                 + (batched ? "/batched" : "/per-record"))
+                    .c_str(),
+                [spec, batched](benchmark::State &s) {
+                    BM_Stream(s, spec, batched);
+                })
+                ->UseManualTime()
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Gate: the batched walk must not lose to per-record dispatch; the
+    // summary shows what the virtual boundary costs per workload.
+    bool ok = true;
+    std::printf("\n%-24s %14s %14s %8s\n", "workload",
+                "batched(Mr/s)", "per-rec(Mr/s)", "speedup");
+    for (const auto &[spec, rates] : ratePerSpec()) {
+        const auto [batched, per_record] = rates;
+        if (batched <= 0 || per_record <= 0)
+            continue;
+        const double speedup = batched / per_record;
+        std::printf("%-24s %14.1f %14.1f %7.2fx\n", spec.c_str(),
+                    batched / 1e6, per_record / 1e6, speedup);
+        if (speedup < 0.9)
+            ok = false;
+    }
+    if (!ok) {
+        std::fprintf(stderr, "bench_workload_stream: batched path lost "
+                             "to per-record dispatch\n");
+        return 1;
+    }
+    return 0;
+}

@@ -47,35 +47,44 @@ class IndexJoinWorkload : public Workload
         return emitted_[static_cast<std::size_t>(tid)];
     }
 
-    bool
-    next(int tid, TraceRecord &rec) override
+    // The batched contract: fill up to TraceBatch::kCapacity records
+    // in one call. The record stream must not depend on how many
+    // records each refill produces.
+    std::uint32_t
+    refill(int tid, TraceBatch &batch) override
     {
         auto t = static_cast<std::size_t>(tid);
-        if (emitted_[t] >= params_.instrPerThread)
-            return false;
         Rng &rng = rngs_[t];
         const std::uint64_t hash_region = footprint_ / 8; // build side
-        switch (cursor_[t] % 4) {
-          case 0: // stream the probe side sequentially
-            rec = {6, false,
-                   kDataBase + hash_region
-                       + (cursor_[t] * kCachelineBytes)
-                             % (footprint_ - hash_region)};
-            break;
-          case 1: // hash-bucket lookup (random, hot)
-          case 2: // chase one chain link
-            rec = {4, false,
-                   kDataBase + lineAlign(rng.below(hash_region))};
-            break;
-          default: // emit a join result (write, streaming)
-            rec = {5, true,
-                   kDataBase + hash_region
-                       + lineAlign(rng.below(footprint_ - hash_region))};
-            break;
+        std::uint32_t n = 0;
+        while (n < TraceBatch::kCapacity
+               && emitted_[t] < params_.instrPerThread) {
+            TraceRecord &rec = batch.records[n++];
+            switch (cursor_[t] % 4) {
+              case 0: // stream the probe side sequentially
+                rec = {6, false,
+                       kDataBase + hash_region
+                           + (cursor_[t] * kCachelineBytes)
+                                 % (footprint_ - hash_region)};
+                break;
+              case 1: // hash-bucket lookup (random, hot)
+              case 2: // chase one chain link
+                rec = {4, false,
+                       kDataBase + lineAlign(rng.below(hash_region))};
+                break;
+              default: // emit a join result (write, streaming)
+                rec = {5, true,
+                       kDataBase + hash_region
+                           + lineAlign(
+                               rng.below(footprint_ - hash_region))};
+                break;
+            }
+            cursor_[t]++;
+            emitted_[t] += rec.computeOps + 1;
         }
-        cursor_[t]++;
-        emitted_[t] += rec.computeOps + 1;
-        return true;
+        batch.count = n;
+        batch.cursor = 0;
+        return n;
     }
 
   private:

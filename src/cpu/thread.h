@@ -31,7 +31,11 @@ class ThreadContext
 
     /**
      * Next record to execute: the replay buffer (squashed work) first,
-     * then fresh trace records.
+     * then fresh trace records. Fresh records come from a per-thread
+     * TraceBatch, so the common case is an inline array walk; the
+     * workload's virtual refill() runs once per batch. Prefetched
+     * records waiting in the batch were never issued, so a squash never
+     * touches them — only ROB/pending records go back through unfetch().
      * @retval false when the thread has fully exhausted its trace.
      */
     bool
@@ -42,7 +46,12 @@ class ThreadContext
             replay_.pop_front();
             return true;
         }
-        return workload_->next(threadId_, rec);
+        if (batch_.drained()
+            && workload_->refill(threadId_, batch_) == 0) {
+            return false;
+        }
+        rec = batch_.records[batch_.cursor++];
+        return true;
     }
 
     /**
@@ -75,6 +84,7 @@ class ThreadContext
   private:
     int threadId_;
     Workload *workload_;
+    TraceBatch batch_;
     std::deque<TraceRecord> replay_;
     bool finished_ = false;
     Tick vruntime_ = 0;

@@ -32,16 +32,9 @@ parseBool(const std::string &value, const std::string &key)
 std::uint64_t
 parseU64(const std::string &value, const std::string &key)
 {
-    try {
-        std::size_t pos = 0;
-        const std::uint64_t v = std::stoull(value, &pos, 10);
-        if (pos != value.size())
-            throw std::invalid_argument("trailing junk");
-        return v;
-    } catch (const std::exception &) {
-        throw std::invalid_argument("bad integer for " + key + ": "
-                                    + value);
-    }
+    // Shared strict parse (trace/workload_spec.h): digits only, no
+    // sign wrap, errors name the key.
+    return parseUnsigned(value, key);
 }
 
 SchedPolicy
@@ -206,9 +199,23 @@ applyAssignment(const std::string &assignment, ExperimentSpec &spec)
         cfg.seed = parseU64(value, key);
         spec.params.seed = cfg.seed;
     } else if (key == "workload") {
-        spec.workloadName = value;
+        spec.workload = parseWorkloadSpec(value);
+        // Resolve the name and typecheck the args now (construction is
+        // cheap and generates no records), so a typo fails with its
+        // config line number instead of at run time.
+        WorkloadParams trial = spec.params;
+        trial.numThreads = 1;
+        trial.instrPerThread = 0;
+        makeWorkload(spec.workload, trial);
     } else if (key == "num_threads") {
-        spec.params.numThreads = static_cast<int>(parseU64(value, key));
+        const std::uint64_t threads = parseU64(value, key);
+        // Bound before the cast to int: a huge value must error, not
+        // silently wrap (mirrors the spec-level threads= guard).
+        if (threads == 0 || threads > 65536) {
+            throw std::invalid_argument(
+                "num_threads must be in [1, 65536]: " + value);
+        }
+        spec.params.numThreads = static_cast<int>(threads);
     } else if (key == "instr_per_thread") {
         spec.params.instrPerThread = parseU64(value, key);
     } else if (key == "footprint_byte") {

@@ -16,8 +16,17 @@
  *   seed=42                       dram_only=0
  *   calendar_window_ticks=8192    slab_chunk_records=512
  *
- * Lines starting with '#' are comments. Unknown keys raise errors so
- * typos cannot silently change an experiment.
+ * workload= accepts any registered workload spec string
+ * (trace/workload_spec.h), so parameterized synthetic scenarios work
+ * straight from a config file:
+ *
+ *   workload=zipf:theta=0.99,footprint=64M
+ *   workload=phased:phase_instr=20000,write_ratio=0.3
+ *
+ * Specs are parsed (and their workload name resolved against the
+ * registry) at config-parse time, so a typo fails with the offending
+ * line number. Lines starting with '#' are comments. Unknown keys
+ * raise errors so typos cannot silently change an experiment.
  */
 
 #ifndef SKYBYTE_SIM_CONFIG_FILE_H
@@ -36,7 +45,7 @@ struct ExperimentSpec
 {
     SimConfig config;
     WorkloadParams params;
-    std::string workloadName = "uniform";
+    WorkloadSpec workload; ///< defaults to the "uniform" microworkload
 };
 
 /**

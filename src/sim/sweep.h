@@ -100,7 +100,11 @@ struct SweepSpec
 /** @name Axis factories for the common axis kinds.
  * @{ */
 
-/** Axis setting the workload name. */
+/**
+ * Axis setting the workload. Values are workload spec strings
+ * (trace/workload_spec.h) — a registered name or a parameterized
+ * "name:key=value,..." — and double as the axis labels.
+ */
 SweepAxis workloadAxis(std::vector<std::string> names);
 
 /** All-paper-workloads convenience (Table I order). */

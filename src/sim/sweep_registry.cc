@@ -474,6 +474,18 @@ registerBuiltinSweeps()
         "smoke", "tiny 2x2 grid for CI shard/merge checks",
         {"ycsb", "srad"}, {"Base-CSSD", "SkyByte-Full"}, 4'000);
     registerSweepUnlocked(std::move(smoke));
+
+    // The parameterized synthetic scenarios as a workload axis of spec
+    // strings — beyond-the-paper coverage, and the grid CI's
+    // workload-fingerprint job diffs against a checked-in reference
+    // report to catch accidental simulation or generator drift.
+    registerSweepUnlocked(variantGrid(
+        "scenarios",
+        "parameterized synthetic scenarios (workload spec strings)",
+        {"zipf:theta=0.8,footprint=32M", "scan:stride=128",
+         "ptrchase:footprint=16M,chain=32",
+         "phased:phase_instr=8000,write_ratio=0.3"},
+        {"Base-CSSD", "SkyByte-Full"}, 4'000));
 }
 
 } // namespace detail

@@ -85,25 +85,39 @@ MemRouter::write(const MemRequest &req, Tick when)
     sys_.ssd_->write(dev, req.value, t_cxl);
 }
 
-System::System(const SimConfig &cfg, const std::string &workload_name,
+System::System(const SimConfig &cfg, const WorkloadSpec &workload,
                const WorkloadParams &params)
     : cfg_(cfg), params_(params),
       eq_(cfg_.kernel.calendarWindowTicks, cfg_.kernel.slabChunkRecords)
 {
     params_.numThreads = std::max(params_.numThreads, 1);
     params_.seed = cfg_.seed;
-    workload_ = makeWorkload(workload_name, params_);
-    buildSystem([this, workload_name] {
-        return makeWorkload(workload_name, params_);
+    workload_ = makeWorkload(workload, params_);
+    // Full spec text, so differently parameterized runs of one
+    // generator stay distinguishable in reports.
+    workloadLabel_ = workload.text();
+    // A spec's threads= arg overrides params: follow the workload so
+    // every generated lane gets a ThreadContext.
+    params_.numThreads = workload_->numThreads();
+    buildSystem([this, workload] {
+        return makeWorkload(workload, params_);
     });
 }
 
+System::System(const SimConfig &cfg, const std::string &workload_spec,
+               const WorkloadParams &params)
+    : System(cfg, parseWorkloadSpec(workload_spec), params)
+{}
+
 System::System(const SimConfig &cfg, std::unique_ptr<Workload> workload,
-               std::function<std::unique_ptr<Workload>()> warm_factory)
+               std::function<std::unique_ptr<Workload>()> warm_factory,
+               std::string label)
     : cfg_(cfg),
       eq_(cfg_.kernel.calendarWindowTicks, cfg_.kernel.slabChunkRecords)
 {
     workload_ = std::move(workload);
+    workloadLabel_ =
+        label.empty() ? workload_->name() : std::move(label);
     params_.numThreads = workload_->numThreads();
     params_.seed = cfg_.seed;
     buildSystem(warm_factory);
@@ -176,8 +190,15 @@ System::warmupSsd(Workload &warm_ref)
     // Stream an identically-distributed copy of the trace (same seeds,
     // fresh generator state) and preload the SSD data cache with the
     // most-recently-touched device pages, oldest first so the LRU order
-    // matches a real warm state (§VI-A).
+    // matches a real warm state (§VI-A). Each thread is drained through
+    // its own batch cursor; the 64-record interleave matches the seed
+    // pass so the LRU sequence is unchanged.
     Workload *warm = &warm_ref;
+
+    std::vector<TraceCursor> cursors;
+    cursors.reserve(static_cast<std::size_t>(warm->numThreads()));
+    for (int t = 0; t < warm->numThreads(); ++t)
+        cursors.emplace_back(*warm, t);
 
     std::unordered_map<std::uint64_t, std::uint64_t> last_touch;
     std::uint64_t seq = 0;
@@ -188,7 +209,7 @@ System::warmupSsd(Workload &warm_ref)
         progressed = false;
         for (int t = 0; t < warm->numThreads() && budget > 0; ++t) {
             for (int k = 0; k < 64 && budget > 0; ++k) {
-                if (!warm->next(t, rec))
+                if (!cursors[t].next(rec))
                     break;
                 progressed = true;
                 budget--;
@@ -261,7 +282,7 @@ System::run(Tick max_ticks)
 
     SimResult res;
     res.variant = cfg_.name;
-    res.workload = workload_->name();
+    res.workload = workloadLabel_;
     res.timedOut = timed_out;
     res.execTime = sched_->lastFinishTime();
 

@@ -174,7 +174,16 @@ class MemRouter : public MemoryBackend
 class System
 {
   public:
-    System(const SimConfig &cfg, const std::string &workload_name,
+    /**
+     * Build from a parsed workload spec; common spec args (threads,
+     * footprint, instr, seed) override @p params, and the system's
+     * thread count follows the constructed workload.
+     */
+    System(const SimConfig &cfg, const WorkloadSpec &workload,
+           const WorkloadParams &params);
+
+    /** Convenience: @p workload_spec is parsed (name or name:k=v,...). */
+    System(const SimConfig &cfg, const std::string &workload_spec,
            const WorkloadParams &params);
 
     /**
@@ -182,10 +191,14 @@ class System
      * a user-defined generator). @p warm_factory, when given, produces
      * an identically-distributed fresh instance for the SSD cache
      * warmup pass; without it warmup is skipped for custom workloads.
+     * @p label overrides the SimResult.workload string (empty = the
+     * workload's name()); spec-built systems record the full spec text
+     * so parameterized runs stay distinguishable in reports.
      */
     System(const SimConfig &cfg, std::unique_ptr<Workload> workload,
            std::function<std::unique_ptr<Workload>()> warm_factory =
-               nullptr);
+               nullptr,
+           std::string label = "");
 
     ~System();
 
@@ -231,6 +244,8 @@ class System
     WorkloadParams params_;
     EventQueue eq_;
     std::unique_ptr<Workload> workload_;
+    /** SimResult.workload string; defaults to workload_->name(). */
+    std::string workloadLabel_;
     std::unique_ptr<CxlLink> link_;
     std::unique_ptr<DramModel> hostDram_;
     std::unique_ptr<SsdController> ssd_;

@@ -39,8 +39,9 @@ writeTraceFile(const std::string &path, Workload &workload)
     std::uint64_t total = 0;
     for (int t = 0; t < workload.numThreads(); ++t) {
         std::vector<TraceFileRecord> records;
+        TraceCursor cursor(workload, t);
         TraceRecord rec;
-        while (workload.next(t, rec)) {
+        while (cursor.next(rec)) {
             records.push_back({rec.vaddr, rec.computeOps,
                                rec.isWrite ? 1u : 0u});
         }
@@ -99,18 +100,20 @@ TraceFileWorkload::TraceFileWorkload(const std::string &path)
     emitted_.assign(hdr.numThreads, 0);
 }
 
-bool
-TraceFileWorkload::next(int tid, TraceRecord &rec)
+std::uint32_t
+TraceFileWorkload::refill(int tid, TraceBatch &batch)
 {
-    auto &records = perThread_[tid];
-    if (cursor_[tid] >= records.size())
-        return false;
-    const TraceFileRecord &r = records[cursor_[tid]++];
-    rec.vaddr = r.vaddr;
-    rec.computeOps = r.computeOps;
-    rec.isWrite = r.isWrite != 0;
-    emitted_[tid] += r.computeOps + 1;
-    return true;
+    const auto &records = perThread_[tid];
+    std::uint64_t &cur = cursor_[tid];
+    std::uint32_t n = 0;
+    while (n < TraceBatch::kCapacity && cur < records.size()) {
+        const TraceFileRecord &r = records[cur++];
+        batch.records[n++] = {r.computeOps, r.isWrite != 0, r.vaddr};
+        emitted_[tid] += r.computeOps + 1;
+    }
+    batch.count = n;
+    batch.cursor = 0;
+    return n;
 }
 
 } // namespace skybyte

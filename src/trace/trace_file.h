@@ -37,8 +37,10 @@ std::uint64_t writeTraceFile(const std::string &path, Workload &workload);
 
 /**
  * A Workload backed by a trace file previously produced by
- * writeTraceFile(). The entire file is loaded eagerly; intended for
- * modest test/example traces.
+ * writeTraceFile(). The raw per-thread record sections are loaded
+ * eagerly (intended for modest test/example traces) and decoded into
+ * TraceRecords a batch at a time in refill(), so the replay front end
+ * pays the same once-per-batch cost as the synthetic generators.
  */
 class TraceFileWorkload : public Workload
 {
@@ -52,7 +54,7 @@ class TraceFileWorkload : public Workload
     {
         return static_cast<int>(perThread_.size());
     }
-    bool next(int tid, TraceRecord &rec) override;
+    std::uint32_t refill(int tid, TraceBatch &batch) override;
     std::uint64_t instructionsEmitted(int tid) const override
     {
         return emitted_[tid];

@@ -50,6 +50,14 @@ summarizeWorkload(Workload &workload, std::uint64_t max_records)
     double touched_sum = 0;
     double written_sum = 0;
 
+    // One batch cursor per thread; the round-robin interleave mirrors
+    // how the simulator overlaps threads (and keeps the max_records
+    // cutoff sampling every thread evenly).
+    std::vector<TraceCursor> cursors;
+    cursors.reserve(static_cast<std::size_t>(workload.numThreads()));
+    for (int t = 0; t < workload.numThreads(); ++t)
+        cursors.emplace_back(workload, t);
+
     TraceRecord rec;
     bool progressed = true;
     while (progressed && summary.records < max_records) {
@@ -57,7 +65,7 @@ summarizeWorkload(Workload &workload, std::uint64_t max_records)
         for (int tid = 0; tid < workload.numThreads()
                           && summary.records < max_records;
              ++tid) {
-            if (!workload.next(tid, rec))
+            if (!cursors[tid].next(rec))
                 continue;
             progressed = true;
             summary.records++;

@@ -1,0 +1,223 @@
+#include "trace/workload_spec.h"
+
+#include <cctype>
+#include <cmath>
+#include <stdexcept>
+
+namespace skybyte {
+
+namespace {
+
+bool
+validName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (const char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-'
+            && c != '_' && c != '.') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+WorkloadSpec::has(const std::string &key) const
+{
+    for (const auto &[k, v] : args) {
+        if (k == key)
+            return true;
+    }
+    return false;
+}
+
+const std::string &
+WorkloadSpec::raw(const std::string &key) const
+{
+    static const std::string empty;
+    for (const auto &[k, v] : args) {
+        if (k == key)
+            return v;
+    }
+    return empty;
+}
+
+std::string
+WorkloadSpec::text() const
+{
+    std::string out = name;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        out += i == 0 ? ':' : ',';
+        out += args[i].first;
+        out += '=';
+        out += args[i].second;
+    }
+    return out;
+}
+
+WorkloadSpec
+parseWorkloadSpec(const std::string &text)
+{
+    WorkloadSpec spec;
+    const auto colon = text.find(':');
+    spec.name = text.substr(0, colon);
+    if (!validName(spec.name)) {
+        throw std::invalid_argument("bad workload spec name: \"" + text
+                                    + "\"");
+    }
+    if (colon == std::string::npos)
+        return spec;
+
+    const std::string body = text.substr(colon + 1);
+    if (body.empty()) {
+        throw std::invalid_argument("workload spec has empty argument "
+                                    "list: \"" + text + "\"");
+    }
+    std::size_t pos = 0;
+    while (pos <= body.size()) {
+        const auto comma = body.find(',', pos);
+        const std::string arg =
+            body.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos);
+        const auto eq = arg.find('=');
+        if (eq == 0 || eq == std::string::npos) {
+            throw std::invalid_argument(
+                "workload spec argument must be key=value, got \"" + arg
+                + "\" in \"" + text + "\"");
+        }
+        const std::string key = arg.substr(0, eq);
+        const std::string value = arg.substr(eq + 1);
+        if (value.empty()) {
+            throw std::invalid_argument("empty value for workload arg "
+                                        + key + " in \"" + text + "\"");
+        }
+        if (spec.has(key)) {
+            throw std::invalid_argument("duplicate workload arg " + key
+                                        + " in \"" + text + "\"");
+        }
+        spec.args.emplace_back(key, value);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return spec;
+}
+
+std::uint64_t
+parseUnsigned(const std::string &value, const std::string &what)
+{
+    try {
+        // Digits only: stoull would silently wrap "-1" to 2^64-1.
+        if (value.empty()
+            || value.find_first_not_of("0123456789")
+                   != std::string::npos)
+            throw std::invalid_argument("not a digit string");
+        return std::stoull(value, nullptr, 10);
+    } catch (const std::exception &) {
+        throw std::invalid_argument("bad integer for " + what + ": "
+                                    + value);
+    }
+}
+
+std::uint64_t
+parseByteSize(const std::string &value, const std::string &what)
+{
+    if (value.empty())
+        throw std::invalid_argument("empty byte size for " + what);
+    std::uint64_t multiplier = 1;
+    std::string digits = value;
+    switch (value.back()) {
+      case 'k': case 'K': multiplier = 1024ULL; break;
+      case 'm': case 'M': multiplier = 1024ULL * 1024; break;
+      case 'g': case 'G': multiplier = 1024ULL * 1024 * 1024; break;
+      default: break;
+    }
+    if (multiplier != 1)
+        digits.pop_back();
+    std::uint64_t count = 0;
+    try {
+        count = parseUnsigned(digits, what);
+    } catch (const std::exception &) {
+        throw std::invalid_argument("bad byte size for " + what + ": "
+                                    + value);
+    }
+    if (count > ~0ULL / multiplier) {
+        // The multiply would wrap mod 2^64 and silently run a
+        // different experiment.
+        throw std::invalid_argument("byte size overflows for " + what
+                                    + ": " + value);
+    }
+    return count * multiplier;
+}
+
+const std::string *
+WorkloadSpecArgs::consume(const std::string &key)
+{
+    if (!spec_.has(key))
+        return nullptr;
+    consumed_.insert(key);
+    return &spec_.raw(key);
+}
+
+std::uint64_t
+WorkloadSpecArgs::u64(const std::string &key, std::uint64_t def)
+{
+    const std::string *value = consume(key);
+    if (value == nullptr)
+        return def;
+    return parseUnsigned(*value, "workload arg " + key);
+}
+
+double
+WorkloadSpecArgs::dbl(const std::string &key, double def)
+{
+    const std::string *value = consume(key);
+    if (value == nullptr)
+        return def;
+    try {
+        std::size_t end = 0;
+        const double v = std::stod(*value, &end);
+        if (end != value->size())
+            throw std::invalid_argument("trailing junk");
+        // nan/inf would slip through range guards (every comparison
+        // against NaN is false) and silently degenerate a generator.
+        if (!std::isfinite(v))
+            throw std::invalid_argument("not finite");
+        return v;
+    } catch (const std::exception &) {
+        throw std::invalid_argument("bad number for workload arg " + key
+                                    + ": " + *value);
+    }
+}
+
+std::uint64_t
+WorkloadSpecArgs::bytes(const std::string &key, std::uint64_t def)
+{
+    const std::string *value = consume(key);
+    if (value == nullptr)
+        return def;
+    return parseByteSize(*value, "workload arg " + key);
+}
+
+void
+WorkloadSpecArgs::requireAllConsumed(
+    const std::string &workload_name) const
+{
+    std::string unknown;
+    for (const auto &[k, v] : spec_.args) {
+        if (consumed_.count(k) == 0) {
+            if (!unknown.empty())
+                unknown += ", ";
+            unknown += k;
+        }
+    }
+    if (!unknown.empty()) {
+        throw std::invalid_argument("workload " + workload_name
+                                    + " does not take arg(s): " + unknown);
+    }
+}
+
+} // namespace skybyte

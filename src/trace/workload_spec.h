@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Workload spec strings: the textual front end of the workload registry.
+ *
+ * A spec names a registered generator and parameterizes it inline:
+ *
+ *   ycsb
+ *   zipf:theta=0.99,footprint=8G
+ *   scan:stride=256,write_ratio=0.1
+ *   phased:phase_instr=20000,theta=0.9,seed=7
+ *
+ * Grammar: `name[:key=value[,key=value]...]`. Keys common to every
+ * workload (footprint with K/M/G suffixes, threads, instr, seed)
+ * override the WorkloadParams the caller supplies; the remaining keys
+ * are consumed by the generator's factory, and any key nobody consumes
+ * is an error, so typos cannot silently change an experiment — the
+ * same contract the config-file front end enforces for its knobs.
+ */
+
+#ifndef SKYBYTE_TRACE_WORKLOAD_SPEC_H
+#define SKYBYTE_TRACE_WORKLOAD_SPEC_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace skybyte {
+
+/** A parsed workload spec: generator name + raw key=value arguments. */
+struct WorkloadSpec
+{
+    std::string name = "uniform";
+    /** Arguments in spec order (duplicate keys are a parse error). */
+    std::vector<std::pair<std::string, std::string>> args;
+
+    /** True when @p key appears in args. */
+    bool has(const std::string &key) const;
+
+    /** Raw value of @p key; empty string when absent. */
+    const std::string &raw(const std::string &key) const;
+
+    /** Re-render as canonical spec text (name:k=v,k=v in arg order). */
+    std::string text() const;
+};
+
+/**
+ * Parse `name[:key=value,...]`.
+ * @throws std::invalid_argument on malformed text or duplicate keys.
+ */
+WorkloadSpec parseWorkloadSpec(const std::string &text);
+
+/**
+ * Typed, consumption-tracked access to a spec's arguments. Factories
+ * pull the keys they understand; requireAllConsumed() then rejects
+ * leftovers so an unknown or misspelled argument fails loudly.
+ */
+class WorkloadSpecArgs
+{
+  public:
+    explicit WorkloadSpecArgs(const WorkloadSpec &spec) : spec_(spec) {}
+
+    /** Presence check; does not consume. */
+    bool has(const std::string &key) const { return spec_.has(key); }
+
+    /** @name Typed getters; consume @p key, return @p def when absent.
+     * Each throws std::invalid_argument on a malformed value. @{ */
+    std::uint64_t u64(const std::string &key, std::uint64_t def);
+    double dbl(const std::string &key, double def);
+    /** Byte count accepting K/M/G suffixes (e.g. "8G", "512K"). */
+    std::uint64_t bytes(const std::string &key, std::uint64_t def);
+    /** @} */
+
+    /** @throws std::invalid_argument listing any unconsumed keys. */
+    void requireAllConsumed(const std::string &workload_name) const;
+
+  private:
+    const std::string *consume(const std::string &key);
+
+    const WorkloadSpec &spec_;
+    std::set<std::string> consumed_;
+};
+
+/**
+ * Strict digits-only unsigned parse: rejects signs, whitespace and
+ * trailing junk (std::stoull would silently wrap "-1" to 2^64-1).
+ * Shared by the spec-arg getters and the config-file front end.
+ * @throws std::invalid_argument naming @p what on bad input.
+ */
+std::uint64_t parseUnsigned(const std::string &value,
+                            const std::string &what);
+
+/** Parse a standalone byte-size value with optional K/M/G suffix. */
+std::uint64_t parseByteSize(const std::string &value,
+                            const std::string &what);
+
+} // namespace skybyte
+
+#endif // SKYBYTE_TRACE_WORKLOAD_SPEC_H

@@ -1,18 +1,27 @@
 /**
  * @file
- * Implementations of the seven Table I workload generators plus a uniform
- * microworkload. Each generator reproduces the published footprint (scaled
- * 1/64 by default), write ratio and locality class of its namesake; the
- * mixes below are tuned so the measured write ratios and LLC MPKI ordering
- * match Table I (verified by tests/test_trace.cc and bench_table1).
+ * The workload registry and its built-in generators: the seven Table I
+ * workloads plus the parameterized synthetic scenarios (uniform, zipf,
+ * scan, ptrchase, phased). Each Table I generator reproduces the
+ * published footprint (scaled 1/64 by default), write ratio and locality
+ * class of its namesake; the mixes below are tuned so the measured write
+ * ratios and LLC MPKI ordering match Table I (verified by
+ * tests/test_trace.cc and bench_table1).
+ *
+ * Generators derive from SyntheticWorkload and implement a per-record
+ * emit(); the base class batches emit() into TraceBatch refills, so the
+ * virtual front-end boundary is crossed once per 256 records while the
+ * per-thread record stream stays bit-identical to one-at-a-time
+ * generation.
  */
 
 #include "trace/workload.h"
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "common/rng.h"
 
@@ -31,8 +40,9 @@ defaultFootprint(double paper_gb)
 }
 
 /**
- * Shared skeleton: per-thread RNG, instruction accounting, and address
- * helpers. Subclasses implement emit().
+ * Shared skeleton: per-thread RNG, instruction accounting, address
+ * helpers, and the emit()-batching refill(). Subclasses implement
+ * emit().
  */
 class SyntheticWorkload : public Workload
 {
@@ -62,15 +72,20 @@ class SyntheticWorkload : public Workload
         return threads_[tid].instrCount;
     }
 
-    bool
-    next(int tid, TraceRecord &rec) override
+    std::uint32_t
+    refill(int tid, TraceBatch &batch) override
     {
         ThreadState &ts = threads_[tid];
-        if (ts.instrCount >= params_.instrPerThread)
-            return false;
-        emit(ts, rec);
-        ts.instrCount += rec.computeOps + 1;
-        return true;
+        std::uint32_t n = 0;
+        while (n < TraceBatch::kCapacity
+               && ts.instrCount < params_.instrPerThread) {
+            TraceRecord &rec = batch.records[n++];
+            emit(ts, rec);
+            ts.instrCount += rec.computeOps + 1;
+        }
+        batch.count = n;
+        batch.cursor = 0;
+        return n;
     }
 
   protected:
@@ -482,12 +497,17 @@ class YcsbWorkload : public SyntheticWorkload
     ZipfSampler zipf_;
 };
 
-/** uniform — single-line uniform random microworkload for tests/examples. */
+/**
+ * uniform — single-line uniform random microworkload.
+ * Spec args: write_ratio= (default 0.25), compute= (default 4).
+ */
 class UniformWorkload : public SyntheticWorkload
 {
   public:
-    explicit UniformWorkload(const WorkloadParams &p)
-        : SyntheticWorkload(p, 0.25)
+    UniformWorkload(const WorkloadParams &p, double write_ratio,
+                    std::uint32_t compute)
+        : SyntheticWorkload(p, 0.25), writeRatio_(write_ratio),
+          compute_(compute)
     {}
 
     std::string name() const override { return "uniform"; }
@@ -497,48 +517,473 @@ class UniformWorkload : public SyntheticWorkload
     emit(ThreadState &ts, TraceRecord &rec) override
     {
         Rng &rng = ts.rng;
-        rec = {4, rng.chance(0.25), data(lineAlign(rng.below(footprint_)))};
+        rec = {compute_, rng.chance(writeRatio_),
+               data(lineAlign(rng.below(footprint_)))};
     }
+
+  private:
+    double writeRatio_;
+    std::uint32_t compute_;
 };
 
-const std::unordered_map<std::string, WorkloadInfo> &
-infoTable()
+/**
+ * zipf — single-line zipf-skewed accesses over the whole footprint: the
+ * canonical hot-set scenario for migration/caching studies.
+ * Spec args: theta= (skew in (0,1), default 0.99), write_ratio=
+ * (default 0.2), compute= (default 4).
+ */
+class ZipfScenarioWorkload : public SyntheticWorkload
 {
-    static const std::unordered_map<std::string, WorkloadInfo> table = {
-        {"bfs-dense", {"Rodinia", 9.13, 0.25, 122.9}},
-        {"bc", {"GAP", 8.18, 0.11, 39.4}},
-        {"radix", {"Splashv3", 9.60, 0.29, 7.1}},
-        {"srad", {"Rodinia", 8.16, 0.24, 7.5}},
-        {"ycsb", {"WHISPER", 9.61, 0.05, 92.2}},
-        {"tpcc", {"WHISPER", 15.77, 0.36, 1.0}},
-        {"dlrm", {"DLRM", 12.35, 0.32, 5.1}},
-        {"uniform", {"micro", 0.25, 0.25, 50.0}},
+  public:
+    ZipfScenarioWorkload(const WorkloadParams &p, double theta,
+                         double write_ratio, std::uint32_t compute)
+        : SyntheticWorkload(p, 4.0),
+          zipf_(std::max<std::uint64_t>(footprint_ / kCachelineBytes, 64),
+                theta),
+          writeRatio_(write_ratio), compute_(compute)
+    {}
+
+    std::string name() const override { return "zipf"; }
+
+  protected:
+    void
+    emit(ThreadState &ts, TraceRecord &rec) override
+    {
+        Rng &rng = ts.rng;
+        rec = {compute_, rng.chance(writeRatio_),
+               data(zipf_.sample(rng) * kCachelineBytes)};
+    }
+
+  private:
+    ZipfSampler zipf_;
+    double writeRatio_;
+    std::uint32_t compute_;
+};
+
+/**
+ * scan — streaming sequential sweep: each thread walks its own slice of
+ * the footprint at a fixed stride, wrapping around; the worst case for
+ * any hot-set policy and the best case for prefetch-free page caches.
+ * Spec args: stride= (bytes, default 64), write_ratio= (default 0.0),
+ * compute= (default 2).
+ */
+class ScanWorkload : public SyntheticWorkload
+{
+  public:
+    ScanWorkload(const WorkloadParams &p, std::uint64_t stride,
+                 double write_ratio, std::uint32_t compute)
+        : SyntheticWorkload(p, 4.0), stride_(stride),
+          writeRatio_(write_ratio), compute_(compute)
+    {
+        slice_ = footprint_ / static_cast<std::uint64_t>(
+                     std::max(params_.numThreads, 1));
+        slice_ = std::max<std::uint64_t>(lineAlign(slice_),
+                                         kCachelineBytes);
+    }
+
+    std::string name() const override { return "scan"; }
+
+  protected:
+    void
+    emit(ThreadState &ts, TraceRecord &rec) override
+    {
+        const Addr addr = slice_ * ts.tid + (ts.cursor % slice_);
+        ts.cursor += stride_;
+        rec = {compute_, ts.rng.chance(writeRatio_), data(addr)};
+    }
+
+  private:
+    std::uint64_t stride_;
+    std::uint64_t slice_ = 0;
+    double writeRatio_;
+    std::uint32_t compute_;
+};
+
+/**
+ * ptrchase — dependent pointer chasing: each access is a hash of the
+ * previous one, so there is no spatial locality and no MLP — the
+ * latency-bound scenario where device-triggered context switches pay
+ * off most. Periodically rehomes to an rng-chosen chain start.
+ * Spec args: chain= (hops per chain, default 64), write_ratio=
+ * (default 0.05), compute= (default 1).
+ */
+class PtrChaseWorkload : public SyntheticWorkload
+{
+  public:
+    PtrChaseWorkload(const WorkloadParams &p, std::uint64_t chain,
+                     double write_ratio, std::uint32_t compute)
+        : SyntheticWorkload(p, 2.0), chain_(chain),
+          writeRatio_(write_ratio), compute_(compute)
+    {}
+
+    std::string name() const override { return "ptrchase"; }
+
+  protected:
+    void
+    emit(ThreadState &ts, TraceRecord &rec) override
+    {
+        Rng &rng = ts.rng;
+        if (ts.burstLeft == 0) {
+            // Jump to a fresh chain head.
+            ts.cursor = rng.below(footprint_);
+            ts.burstLeft = chain_;
+        }
+        ts.burstLeft--;
+        // splitmix64-style scramble: the next hop depends on the
+        // current one, like dereferencing the stored pointer.
+        std::uint64_t z = ts.cursor + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        ts.cursor = z ^ (z >> 31);
+        rec = {compute_, rng.chance(writeRatio_),
+               data(lineAlign(ts.cursor % footprint_))};
+    }
+
+  private:
+    std::uint64_t chain_;
+    double writeRatio_;
+    std::uint32_t compute_;
+};
+
+/**
+ * phased — alternates a streaming-scan phase with a zipf hot-set phase,
+ * stressing the adaptivity of migration/caching policies (a policy
+ * tuned for either steady state mispredicts at every transition).
+ * Spec args: phase_instr= (instructions per phase, default 20000),
+ * theta= (zipf skew, default 0.9), write_ratio= (default 0.2),
+ * compute= (default 3).
+ */
+class PhasedWorkload : public SyntheticWorkload
+{
+  public:
+    PhasedWorkload(const WorkloadParams &p, std::uint64_t phase_instr,
+                   double theta, double write_ratio,
+                   std::uint32_t compute)
+        : SyntheticWorkload(p, 4.0),
+          zipf_(std::max<std::uint64_t>(footprint_ / kCachelineBytes, 64),
+                theta),
+          phaseInstr_(std::max<std::uint64_t>(phase_instr, 1)),
+          writeRatio_(write_ratio), compute_(compute)
+    {
+        slice_ = std::max<std::uint64_t>(
+            lineAlign(footprint_ / static_cast<std::uint64_t>(
+                          std::max(params_.numThreads, 1))),
+            kCachelineBytes);
+    }
+
+    std::string name() const override { return "phased"; }
+
+  protected:
+    void
+    emit(ThreadState &ts, TraceRecord &rec) override
+    {
+        Rng &rng = ts.rng;
+        const bool scan_phase =
+            (ts.instrCount / phaseInstr_) % 2 == 0;
+        if (scan_phase) {
+            // Each thread scans within its own slice so lanes differ
+            // and never drift into a neighbour's slice on long runs.
+            ts.cursor += kCachelineBytes;
+            rec = {compute_, false,
+                   data(slice_ * ts.tid + ts.cursor % slice_)};
+        } else {
+            rec = {compute_, rng.chance(writeRatio_),
+                   data(zipf_.sample(rng) * kCachelineBytes)};
+        }
+    }
+
+  private:
+    ZipfSampler zipf_;
+    std::uint64_t phaseInstr_;
+    std::uint64_t slice_ = 0;
+    double writeRatio_;
+    std::uint32_t compute_;
+};
+
+double
+thetaArg(WorkloadSpecArgs &args, double def)
+{
+    const double theta = args.dbl("theta", def);
+    if (theta <= 0.0 || theta >= 1.0) {
+        throw std::invalid_argument(
+            "workload arg theta must be in (0, 1)");
+    }
+    return theta;
+}
+
+double
+ratioArg(WorkloadSpecArgs &args, const std::string &key, double def)
+{
+    const double ratio = args.dbl(key, def);
+    if (ratio < 0.0 || ratio > 1.0) {
+        throw std::invalid_argument("workload arg " + key
+                                    + " must be in [0, 1]");
+    }
+    return ratio;
+}
+
+std::uint32_t
+computeArg(WorkloadSpecArgs &args, std::uint32_t def)
+{
+    const std::uint64_t v = args.u64("compute", def);
+    // A record must fit the 32-bit computeOps field with headroom for
+    // the +1 memory slot; a narrowing cast would silently wrap.
+    if (v > 0x7fffffffULL) {
+        throw std::invalid_argument(
+            "workload arg compute out of range: " + std::to_string(v));
+    }
+    return static_cast<std::uint32_t>(v);
+}
+
+/** Registration for a Table I workload (no generator-specific args). */
+template <typename W>
+WorkloadRegistration
+paperEntry(const char *name, const char *summary, WorkloadInfo info)
+{
+    WorkloadRegistration reg;
+    reg.name = name;
+    reg.summary = summary;
+    reg.paper = true;
+    reg.info = std::move(info);
+    reg.make = [](WorkloadSpecArgs &, const WorkloadParams &params) {
+        return std::make_unique<W>(params);
     };
-    return table;
+    return reg;
+}
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::map<std::string, WorkloadRegistration> &
+registryLocked()
+{
+    static std::map<std::string, WorkloadRegistration> entries;
+    return entries;
+}
+
+void
+insertRegistration(WorkloadRegistration reg)
+{
+    if (reg.name.empty())
+        throw std::invalid_argument("workload name must not be empty");
+    if (!reg.make) {
+        throw std::invalid_argument("workload " + reg.name
+                                    + " has no factory");
+    }
+    auto [it, inserted] =
+        registryLocked().emplace(reg.name, std::move(reg));
+    if (!inserted) {
+        throw std::invalid_argument("duplicate workload name: "
+                                    + it->first);
+    }
+}
+
+void
+registerBuiltinWorkloads()
+{
+    insertRegistration(paperEntry<BcWorkload>(
+        "bc", "GAP betweenness centrality (zipf vertices + edge bursts)",
+        {"GAP", 8.18, 0.11, 39.4}));
+    insertRegistration(paperEntry<BfsWorkload>(
+        "bfs-dense", "Rodinia BFS, dense graph (lowest compute/access)",
+        {"Rodinia", 9.13, 0.25, 122.9}));
+    insertRegistration(paperEntry<DlrmWorkload>(
+        "dlrm", "embedding gathers alternating with dense MLP phases",
+        {"DLRM", 12.35, 0.32, 5.1}));
+    insertRegistration(paperEntry<RadixWorkload>(
+        "radix", "SPLASH-3 radix sort (sequential reads, scatter writes)",
+        {"Splashv3", 9.60, 0.29, 7.1}));
+    insertRegistration(paperEntry<SradWorkload>(
+        "srad", "Rodinia SRAD stencil (column-strided sparse writes)",
+        {"Rodinia", 8.16, 0.24, 7.5}));
+    insertRegistration(paperEntry<TpccWorkload>(
+        "tpcc", "WHISPER TPC-C (hot tables, highest write ratio)",
+        {"WHISPER", 15.77, 0.36, 1.0}));
+    insertRegistration(paperEntry<YcsbWorkload>(
+        "ycsb", "WHISPER YCSB-B (zipf keys, 1 KB records, 5% updates)",
+        {"WHISPER", 9.61, 0.05, 92.2}));
+
+    WorkloadRegistration uniform;
+    uniform.name = "uniform";
+    uniform.summary = "uniform random single-line microworkload";
+    uniform.argHelp = "write_ratio=,compute=";
+    uniform.info = {"micro", 0.25, 0.25, 50.0};
+    uniform.make = [](WorkloadSpecArgs &args,
+                      const WorkloadParams &params) {
+        const double wr = ratioArg(args, "write_ratio", 0.25);
+        const std::uint32_t compute = computeArg(args, 4);
+        return std::make_unique<UniformWorkload>(params, wr, compute);
+    };
+    insertRegistration(std::move(uniform));
+
+    WorkloadRegistration zipf;
+    zipf.name = "zipf";
+    zipf.summary = "zipf-skewed hot-set accesses over the footprint";
+    zipf.argHelp = "theta=,write_ratio=,compute=";
+    zipf.info = {"synthetic", 4.0, 0.20, 60.0};
+    zipf.make = [](WorkloadSpecArgs &args, const WorkloadParams &params) {
+        const double theta = thetaArg(args, 0.99);
+        const double wr = ratioArg(args, "write_ratio", 0.20);
+        const std::uint32_t compute = computeArg(args, 4);
+        return std::make_unique<ZipfScenarioWorkload>(params, theta, wr,
+                                                      compute);
+    };
+    insertRegistration(std::move(zipf));
+
+    WorkloadRegistration scan;
+    scan.name = "scan";
+    scan.summary = "per-thread streaming sequential sweep";
+    scan.argHelp = "stride=,write_ratio=,compute=";
+    scan.info = {"synthetic", 4.0, 0.0, 30.0};
+    scan.make = [](WorkloadSpecArgs &args, const WorkloadParams &params) {
+        const std::uint64_t stride =
+            args.bytes("stride", kCachelineBytes);
+        // Fail loudly rather than silently rounding the stride: two
+        // sweep points labeled stride=32 and stride=100 must not run
+        // the same experiment.
+        if (stride == 0 || stride % kCachelineBytes != 0) {
+            throw std::invalid_argument(
+                "workload arg stride must be a positive multiple of "
+                + std::to_string(kCachelineBytes));
+        }
+        const double wr = ratioArg(args, "write_ratio", 0.0);
+        const std::uint32_t compute = computeArg(args, 2);
+        return std::make_unique<ScanWorkload>(params, stride, wr,
+                                              compute);
+    };
+    insertRegistration(std::move(scan));
+
+    WorkloadRegistration ptrchase;
+    ptrchase.name = "ptrchase";
+    ptrchase.summary = "dependent pointer chase (no locality, no MLP)";
+    ptrchase.argHelp = "chain=,write_ratio=,compute=";
+    ptrchase.info = {"synthetic", 2.0, 0.05,
+                     100.0};
+    ptrchase.make = [](WorkloadSpecArgs &args,
+                       const WorkloadParams &params) {
+        const std::uint64_t chain = args.u64("chain", 64);
+        if (chain == 0) {
+            throw std::invalid_argument(
+                "workload arg chain must be >= 1");
+        }
+        const double wr = ratioArg(args, "write_ratio", 0.05);
+        const std::uint32_t compute = computeArg(args, 1);
+        return std::make_unique<PtrChaseWorkload>(params, chain, wr,
+                                                  compute);
+    };
+    insertRegistration(std::move(ptrchase));
+
+    WorkloadRegistration phased;
+    phased.name = "phased";
+    phased.summary = "alternating scan / zipf hot-set phases";
+    phased.argHelp = "phase_instr=,theta=,write_ratio=,compute=";
+    phased.info = {"synthetic", 4.0, 0.10,
+                   45.0};
+    phased.make = [](WorkloadSpecArgs &args,
+                     const WorkloadParams &params) {
+        const std::uint64_t phase_instr =
+            args.u64("phase_instr", 20'000);
+        if (phase_instr == 0) {
+            throw std::invalid_argument(
+                "workload arg phase_instr must be >= 1");
+        }
+        const double theta = thetaArg(args, 0.9);
+        const double wr = ratioArg(args, "write_ratio", 0.20);
+        const std::uint32_t compute = computeArg(args, 3);
+        return std::make_unique<PhasedWorkload>(params, phase_instr,
+                                                theta, wr, compute);
+    };
+    insertRegistration(std::move(phased));
+}
+
+void
+ensureBuiltins()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        registerBuiltinWorkloads();
+    });
 }
 
 } // namespace
 
-std::unique_ptr<Workload>
-makeWorkload(const std::string &name, const WorkloadParams &params)
+void
+registerWorkload(WorkloadRegistration reg)
 {
-    if (name == "bc")
-        return std::make_unique<BcWorkload>(params);
-    if (name == "bfs-dense")
-        return std::make_unique<BfsWorkload>(params);
-    if (name == "dlrm")
-        return std::make_unique<DlrmWorkload>(params);
-    if (name == "radix")
-        return std::make_unique<RadixWorkload>(params);
-    if (name == "srad")
-        return std::make_unique<SradWorkload>(params);
-    if (name == "tpcc")
-        return std::make_unique<TpccWorkload>(params);
-    if (name == "ycsb")
-        return std::make_unique<YcsbWorkload>(params);
-    if (name == "uniform")
-        return std::make_unique<UniformWorkload>(params);
-    throw std::invalid_argument("unknown workload: " + name);
+    ensureBuiltins();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    insertRegistration(std::move(reg));
+}
+
+const WorkloadRegistration *
+findWorkload(const std::string &name)
+{
+    ensureBuiltins();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    const auto &entries = registryLocked();
+    const auto it = entries.find(name);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+registeredWorkloadNames()
+{
+    ensureBuiltins();
+    std::lock_guard<std::mutex> lock(registryMutex());
+    std::vector<std::string> names;
+    for (const auto &[name, reg] : registryLocked())
+        names.push_back(name);
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const WorkloadSpec &spec, const WorkloadParams &params)
+{
+    const WorkloadRegistration *reg = findWorkload(spec.name);
+    if (reg == nullptr) {
+        std::string known;
+        for (const std::string &name : registeredWorkloadNames()) {
+            if (!known.empty())
+                known += ", ";
+            known += name;
+        }
+        throw std::invalid_argument("unknown workload: " + spec.name
+                                    + " (registered: " + known + ")");
+    }
+    WorkloadSpecArgs args(spec);
+    WorkloadParams p = params;
+    // Common spec args override the caller's params so a spec string is
+    // a self-contained experiment input.
+    p.footprintBytes = args.bytes("footprint", p.footprintBytes);
+    if (args.has("threads")) {
+        const std::uint64_t threads = args.u64("threads", 0);
+        // Bound before the cast to int: a huge value must error, not
+        // silently wrap to some small thread count.
+        if (threads == 0 || threads > 65536) {
+            throw std::invalid_argument(
+                "workload arg threads must be in [1, 65536], got "
+                + std::to_string(threads));
+        }
+        p.numThreads = static_cast<int>(threads);
+    }
+    p.instrPerThread = args.u64("instr", p.instrPerThread);
+    p.seed = args.u64("seed", p.seed);
+    if (p.numThreads <= 0)
+        throw std::invalid_argument("workload threads must be >= 1");
+    auto workload = reg->make(args, p);
+    args.requireAllConsumed(spec.name);
+    return workload;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &spec_text, const WorkloadParams &params)
+{
+    return makeWorkload(parseWorkloadSpec(spec_text), params);
 }
 
 const std::vector<std::string> &
@@ -553,10 +998,10 @@ paperWorkloadNames()
 const WorkloadInfo &
 workloadInfo(const std::string &name)
 {
-    auto it = infoTable().find(name);
-    if (it == infoTable().end())
+    const WorkloadRegistration *reg = findWorkload(name);
+    if (reg == nullptr)
         throw std::invalid_argument("unknown workload: " + name);
-    return it->second;
+    return reg->info;
 }
 
 } // namespace skybyte

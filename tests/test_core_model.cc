@@ -71,17 +71,21 @@ class StrideWorkload : public Workload
         return emitted_;
     }
 
-    bool
-    next(int, TraceRecord &rec) override
+    std::uint32_t
+    refill(int, TraceBatch &batch) override
     {
-        if (produced_ >= records_)
-            return false;
-        produced_++;
-        rec.computeOps = compute_;
-        rec.isWrite = writes_;
-        rec.vaddr = kDataBase + produced_ * kPageBytes; // never L-cached
-        emitted_ += compute_ + 1;
-        return true;
+        std::uint32_t n = 0;
+        while (n < TraceBatch::kCapacity && produced_ < records_) {
+            produced_++;
+            TraceRecord &rec = batch.records[n++];
+            rec.computeOps = compute_;
+            rec.isWrite = writes_;
+            rec.vaddr = kDataBase + produced_ * kPageBytes; // uncached
+            emitted_ += compute_ + 1;
+        }
+        batch.count = n;
+        batch.cursor = 0;
+        return n;
     }
 
   private:
@@ -228,14 +232,17 @@ TEST(CoreModel, CoalescedMissesCompleteTogether)
         {
             return n_;
         }
-        bool
-        next(int, TraceRecord &rec) override
+        std::uint32_t
+        refill(int, TraceBatch &batch) override
         {
-            if (n_ >= 2)
-                return false;
-            n_++;
-            rec = {0, false, kDataBase};
-            return true;
+            std::uint32_t filled = 0;
+            while (filled < TraceBatch::kCapacity && n_ < 2) {
+                n_++;
+                batch.records[filled++] = {0, false, kDataBase};
+            }
+            batch.count = filled;
+            batch.cursor = 0;
+            return filled;
         }
 
       private:
@@ -275,15 +282,19 @@ TEST(CoreModel, MultiThreadSharesCore)
         {
             return n_[t];
         }
-        bool
-        next(int t, TraceRecord &rec) override
+        std::uint32_t
+        refill(int t, TraceBatch &batch) override
         {
-            if (n_[t] >= 20)
-                return false;
-            rec = {3, false,
-                   kDataBase + (n_[t] + (t ? 1000u : 0u)) * kPageBytes};
-            n_[t] += 4;
-            return true;
+            std::uint32_t filled = 0;
+            while (filled < TraceBatch::kCapacity && n_[t] < 20) {
+                batch.records[filled++] =
+                    {3, false,
+                     kDataBase + (n_[t] + (t ? 1000u : 0u)) * kPageBytes};
+                n_[t] += 4;
+            }
+            batch.count = filled;
+            batch.cursor = 0;
+            return filled;
         }
 
       private:

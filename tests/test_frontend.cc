@@ -49,7 +49,7 @@ seed=99
     EXPECT_EQ(spec.config.hostMem.promotedBytesMax, 33554432u);
     EXPECT_EQ(spec.config.policy.schedPolicy, SchedPolicy::Cfs);
     EXPECT_EQ(spec.config.flash.timing.readLatency, usToTicks(4.0));
-    EXPECT_EQ(spec.workloadName, "tpcc");
+    EXPECT_EQ(spec.workload.name, "tpcc");
     EXPECT_EQ(spec.params.numThreads, 24);
     EXPECT_EQ(spec.params.instrPerThread, 50000u);
     EXPECT_EQ(spec.config.seed, 99u);
@@ -164,6 +164,31 @@ TEST(ConfigFile, RejectsBadReclaimPolicy)
     EXPECT_THROW(applyConfigStream(in, spec), std::invalid_argument);
 }
 
+TEST(ConfigFile, WorkloadSpecStringsParse)
+{
+    ExperimentSpec spec;
+    std::istringstream in(
+        "workload=zipf:theta=0.75,footprint=16M,write_ratio=0.4\n");
+    applyConfigStream(in, spec);
+    EXPECT_EQ(spec.workload.name, "zipf");
+    EXPECT_EQ(spec.workload.raw("theta"), "0.75");
+    EXPECT_EQ(spec.workload.raw("footprint"), "16M");
+}
+
+TEST(ConfigFile, WorkloadSpecErrorsCarryLineNumbers)
+{
+    // Unknown workload names and bad generator args must fail at
+    // config-parse time, not when the run starts.
+    for (const char *bad :
+         {"workload=nope", "workload=zipf:theta=1.5",
+          "workload=zipf:no_such_arg=1", "workload=zipf:theta="}) {
+        ExperimentSpec spec;
+        std::istringstream in(bad);
+        EXPECT_THROW(applyConfigStream(in, spec), std::invalid_argument)
+            << bad;
+    }
+}
+
 TEST(ConfigFile, RejectsUnknownKeys)
 {
     ExperimentSpec spec;
@@ -175,6 +200,11 @@ TEST(ConfigFile, RejectsMalformedValues)
 {
     ExperimentSpec spec;
     EXPECT_THROW(applyAssignment("cs_threshold=fast", spec),
+                 std::invalid_argument);
+    // Negative integers must not wrap through stoull.
+    EXPECT_THROW(applyAssignment("instr_per_thread=-1", spec),
+                 std::invalid_argument);
+    EXPECT_THROW(applyAssignment("footprint_byte=-4096", spec),
                  std::invalid_argument);
     EXPECT_THROW(applyAssignment("write_log_enable=maybe", spec),
                  std::invalid_argument);

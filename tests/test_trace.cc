@@ -35,13 +35,16 @@ class AllWorkloads : public ::testing::TestWithParam<std::string>
 TEST_P(AllWorkloads, RespectsInstructionBudget)
 {
     auto wl = makeWorkload(GetParam(), smallParams());
+    TraceCursor cursor(*wl, 0);
     TraceRecord rec;
-    while (wl->next(0, rec)) {
+    while (cursor.next(rec)) {
     }
     const std::uint64_t emitted = wl->instructionsEmitted(0);
     EXPECT_GE(emitted, 50'000u - 64);
     EXPECT_LE(emitted, 50'000u + 64);
-    EXPECT_FALSE(wl->next(0, rec)); // stays exhausted
+    EXPECT_FALSE(cursor.next(rec)); // stays exhausted
+    TraceBatch batch;
+    EXPECT_EQ(wl->refill(0, batch), 0u); // refill too
 }
 
 TEST_P(AllWorkloads, AddressesWithinRegions)
@@ -49,8 +52,9 @@ TEST_P(AllWorkloads, AddressesWithinRegions)
     auto wl = makeWorkload(GetParam(), smallParams());
     const Addr data_end =
         Workload::kDataBase + wl->footprintBytes();
+    TraceCursor cursor(*wl, 0);
     TraceRecord rec;
-    for (int i = 0; i < 20000 && wl->next(0, rec); ++i) {
+    for (int i = 0; i < 20000 && cursor.next(rec); ++i) {
         const bool in_data =
             rec.vaddr >= Workload::kDataBase && rec.vaddr < data_end;
         const bool in_private = rec.vaddr >= Workload::kPrivateBase;
@@ -63,10 +67,11 @@ TEST_P(AllWorkloads, DeterministicPerSeedAndThread)
 {
     auto a = makeWorkload(GetParam(), smallParams());
     auto b = makeWorkload(GetParam(), smallParams());
+    TraceCursor ca(*a, 1), cb(*b, 1);
     TraceRecord ra, rb;
     for (int i = 0; i < 5000; ++i) {
-        const bool ok_a = a->next(1, ra);
-        const bool ok_b = b->next(1, rb);
+        const bool ok_a = ca.next(ra);
+        const bool ok_b = cb.next(rb);
         ASSERT_EQ(ok_a, ok_b);
         if (!ok_a)
             break;
@@ -76,13 +81,36 @@ TEST_P(AllWorkloads, DeterministicPerSeedAndThread)
     }
 }
 
+TEST_P(AllWorkloads, StreamIndependentOfRefillGranularity)
+{
+    // The per-thread record sequence must not depend on how many
+    // records each refill produces: a record-at-a-time wrapper (the
+    // seed contract) must replay the batched stream exactly.
+    auto batched = makeWorkload(GetParam(), smallParams());
+    SingleRecordWorkload stepped(
+        makeWorkload(GetParam(), smallParams()));
+    TraceCursor cb(*batched, 1), cs(stepped, 1);
+    TraceRecord rb, rs;
+    for (int i = 0; i < 5000; ++i) {
+        const bool ok_b = cb.next(rb);
+        const bool ok_s = cs.next(rs);
+        ASSERT_EQ(ok_b, ok_s);
+        if (!ok_b)
+            break;
+        ASSERT_EQ(rb.vaddr, rs.vaddr);
+        ASSERT_EQ(rb.isWrite, rs.isWrite);
+        ASSERT_EQ(rb.computeOps, rs.computeOps);
+    }
+}
+
 TEST_P(AllWorkloads, ThreadsDiffer)
 {
     auto wl = makeWorkload(GetParam(), smallParams());
+    TraceCursor c0(*wl, 0), c1(*wl, 1);
     TraceRecord r0, r1;
     int same = 0, total = 0;
     for (int i = 0; i < 2000; ++i) {
-        if (!wl->next(0, r0) || !wl->next(1, r1))
+        if (!c0.next(r0) || !c1.next(r1))
             break;
         total++;
         same += (r0.vaddr == r1.vaddr) ? 1 : 0;
@@ -94,7 +122,10 @@ TEST_P(AllWorkloads, ThreadsDiffer)
 INSTANTIATE_TEST_SUITE_P(
     Names, AllWorkloads,
     ::testing::Values("bc", "bfs-dense", "dlrm", "radix", "srad", "tpcc",
-                      "ycsb", "uniform"));
+                      "ycsb", "uniform", "zipf", "scan", "ptrchase",
+                      "phased", "zipf:theta=0.6,write_ratio=0.5",
+                      "scan:stride=4096,write_ratio=0.2",
+                      "phased:phase_instr=5000,theta=0.95"));
 
 /** Write ratios should track Table I within a few points. */
 class WriteRatio
@@ -107,9 +138,10 @@ TEST_P(WriteRatio, MatchesTableOne)
     WorkloadParams p = smallParams();
     p.instrPerThread = 400'000;
     auto wl = makeWorkload(name, p);
+    TraceCursor cursor(*wl, 0);
     TraceRecord rec;
     std::uint64_t writes = 0, mem_ops = 0;
-    while (wl->next(0, rec)) {
+    while (cursor.next(rec)) {
         mem_ops++;
         writes += rec.isWrite ? 1 : 0;
     }
@@ -147,10 +179,11 @@ TEST(WorkloadLocality, YcsbIsZipfSkewed)
     WorkloadParams p = smallParams();
     p.instrPerThread = 300'000;
     auto wl = makeWorkload("ycsb", p);
+    TraceCursor cursor(*wl, 0);
     std::unordered_map<std::uint64_t, std::uint64_t> page_counts;
     TraceRecord rec;
     std::uint64_t total = 0;
-    while (wl->next(0, rec)) {
+    while (cursor.next(rec)) {
         if (rec.vaddr < Workload::kPrivateBase) {
             page_counts[pageNumber(rec.vaddr)]++;
             total++;
@@ -175,10 +208,11 @@ TEST(WorkloadLocality, SradWritesAreStrided)
     // short write window (the "sparse writes" SkyByte-W exploits).
     WorkloadParams p = smallParams();
     auto wl = makeWorkload("srad", p);
+    TraceCursor cursor(*wl, 0);
     std::unordered_set<std::uint64_t> pages;
     TraceRecord rec;
     int writes = 0;
-    while (writes < 500 && wl->next(0, rec)) {
+    while (writes < 500 && cursor.next(rec)) {
         if (rec.isWrite && rec.vaddr < Workload::kPrivateBase) {
             pages.insert(pageNumber(rec.vaddr));
             writes++;
@@ -209,16 +243,18 @@ TEST(TraceFile, RoundTripPreservesRecords)
     EXPECT_EQ(replay.footprintBytes(), original->footprintBytes());
 
     auto fresh = makeWorkload("ycsb", p);
+    TraceCursor fresh_cursor(*fresh, 0);
+    TraceCursor replay_cursor(replay, 0);
     TraceRecord a, b;
     std::uint64_t records = 0;
-    while (fresh->next(0, a)) {
-        ASSERT_TRUE(replay.next(0, b));
+    while (fresh_cursor.next(a)) {
+        ASSERT_TRUE(replay_cursor.next(b));
         EXPECT_EQ(a.vaddr, b.vaddr);
         EXPECT_EQ(a.isWrite, b.isWrite);
         EXPECT_EQ(a.computeOps, b.computeOps);
         records++;
     }
-    EXPECT_FALSE(replay.next(0, b));
+    EXPECT_FALSE(replay_cursor.next(b));
     EXPECT_GT(records, 100u);
     std::remove(path.c_str());
 }

@@ -33,17 +33,21 @@ class ScriptedWorkload : public Workload
     {
         return static_cast<int>(script_.size());
     }
-    bool
-    next(int tid, TraceRecord &rec) override
+    std::uint32_t
+    refill(int tid, TraceBatch &batch) override
     {
         auto &queue = script_[static_cast<std::size_t>(tid)];
-        if (queue.empty())
-            return false;
-        rec = queue.front();
-        queue.pop_front();
-        emitted_[static_cast<std::size_t>(tid)] +=
-            rec.computeOps + 1;
-        return true;
+        std::uint32_t n = 0;
+        while (n < TraceBatch::kCapacity && !queue.empty()) {
+            const TraceRecord &rec = queue.front();
+            batch.records[n++] = rec;
+            emitted_[static_cast<std::size_t>(tid)] +=
+                rec.computeOps + 1;
+            queue.pop_front();
+        }
+        batch.count = n;
+        batch.cursor = 0;
+        return n;
     }
     std::uint64_t
     instructionsEmitted(int tid) const override

@@ -7,7 +7,9 @@
  *               [-k key=value]... [-c cores] [-f out.json] [-p] [-d] [-r]
  *
  *   -b/-w/-t  config files applied in order (key=value lines)
- *   -k        inline override, e.g. -k cs_threshold=2000
+ *   -k        inline override, e.g. -k cs_threshold=2000 or
+ *             -k workload=zipf:theta=0.99,footprint=64M (any
+ *             registered workload spec string)
  *   -c        number of simulated cores
  *   -f        write the result as JSON to this file ("-" = stdout)
  *   -p        print detailed runtime information (summary to stdout)
@@ -92,7 +94,7 @@ main(int argc, char **argv)
     }
 
     try {
-        System system(spec.config, spec.workloadName, spec.params);
+        System system(spec.config, spec.workload, spec.params);
         SimResult res = system.run();
         const bool json_to_stdout = out_path == "-";
         if (print_details)

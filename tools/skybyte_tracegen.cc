@@ -1,14 +1,18 @@
 /**
  * @file
  * Trace generator, standing in for the artifact's PIN capture pipeline
- * (appendix §G "Capturing Custom Program's Traces"): renders any named
- * synthetic workload into the binary trace file format of
+ * (appendix §G "Capturing Custom Program's Traces"): renders any
+ * registered workload spec into the binary trace file format of
  * src/trace/trace_file.h so it can be replayed repeatedly — by
  * skybyte_sim, by TraceFileWorkload-based experiments, or by
- * skybyte_traceinfo for offline analysis.
+ * skybyte_traceinfo for offline analysis. The workload is drained
+ * through the batched TraceBatch contract (TraceCursor per thread).
  *
- *   skybyte_tracegen -w <workload> -o <path> [-n threads]
+ *   skybyte_tracegen -w <workload-spec> -o <path> [-n threads]
  *                    [-i instr-per-thread] [-m footprint-mb] [-s seed]
+ *
+ * <workload-spec> is a registered name, optionally parameterized:
+ * "ycsb", "zipf:theta=0.99,footprint=64M", ...
  */
 
 #include <cstdio>
@@ -28,10 +32,15 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: skybyte_tracegen -w <workload> -o <path> [-n threads]\n"
+        "usage: skybyte_tracegen -w <workload-spec> -o <path>"
+        " [-n threads]\n"
         "                        [-i instr-per-thread] [-m footprint-mb]"
         " [-s seed]\n"
-        "workloads: bc bfs-dense dlrm radix srad tpcc ycsb uniform\n");
+        "workload specs: name[:key=value,...], e.g."
+        " zipf:theta=0.99,footprint=64M\nregistered:");
+    for (const std::string &name : registeredWorkloadNames())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
 }
 
 } // namespace

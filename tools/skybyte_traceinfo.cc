@@ -8,7 +8,11 @@
  * workload generated on the fly.
  *
  *   skybyte_traceinfo <trace-file>
- *   skybyte_traceinfo -w <workload> [-n threads] [-i instr] [-m mb]
+ *   skybyte_traceinfo -w <workload-spec> [-n threads] [-i instr] [-m mb]
+ *
+ * <workload-spec> is any registered workload spec string ("ycsb",
+ * "scan:stride=256", ...); trace files are decoded through the batched
+ * TraceFileWorkload replay path.
  */
 
 #include <cstdio>
@@ -28,8 +32,13 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: skybyte_traceinfo <trace-file>\n"
-                 "       skybyte_traceinfo -w <workload> [-n threads]"
-                 " [-i instr-per-thread] [-m footprint-mb] [-s seed]\n");
+                 "       skybyte_traceinfo -w <workload-spec>"
+                 " [-n threads]"
+                 " [-i instr-per-thread] [-m footprint-mb] [-s seed]\n"
+                 "registered workloads:");
+    for (const std::string &name : registeredWorkloadNames())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
 }
 
 } // namespace
@@ -80,7 +89,7 @@ main(int argc, char **argv)
             name = trace_path;
         } else {
             workload = makeWorkload(workload_name, params);
-            name = workload->name();
+            name = workload_name; // full spec text, not just the name
         }
         const TraceSummary summary = summarizeWorkload(*workload);
         std::fputs(formatSummary(summary, name).c_str(), stdout);
