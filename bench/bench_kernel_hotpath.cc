@@ -27,10 +27,12 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 
 #include "common/event_queue.h"
+#include "support.h"
 
 using namespace skybyte;
 
@@ -136,6 +138,9 @@ registerScenario(const std::string &scenario, Tick max_stride,
 int
 main(int argc, char **argv)
 {
+    const std::string json_path =
+        skybyte::bench::extractJsonPath(argc, argv);
+
     registerScenario("near", 256, 0);
     registerScenario("spread", EventQueue::kWindowTicks, 0);
     registerScenario("mixed", 2048, 100'000);
@@ -170,6 +175,27 @@ main(int argc, char **argv)
     std::printf("%-10s %33s %9.2fx\n", "geomean", "", geomean);
     std::printf("target: >= 2.00x per scenario — %s\n",
                 all_pass ? "PASS" : "FAIL");
+    if (!json_path.empty()) {
+        // Machine-readable events/sec per (kernel, scenario): the CI
+        // bench job archives this per commit so the perf trajectory
+        // accumulates alongside BENCH_request_path.json.
+        std::ofstream out(json_path);
+        if (out) {
+            out << "{\n  \"bench\": \"kernel_hotpath\",\n"
+                << "  \"unit\": \"events_per_sec\",\n  \"scenarios\": {\n";
+            int i = 0;
+            for (const char *scenario : {"near", "spread", "mixed"}) {
+                out << "    \"" << scenario << "\": {\"calendar\": "
+                    << g_evps[{"calendar", scenario}] << ", \"legacy\": "
+                    << g_evps[{"legacy", scenario}] << "}"
+                    << (++i < 3 ? ",\n" : "\n");
+            }
+            out << "  },\n  \"speedup_geomean\": " << geomean << "\n}\n";
+            std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+        } else {
+            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        }
+    }
     // Nonzero exit makes the CI smoke step fail with the gate; the
     // ratio compares two kernels in the same process, so host speed
     // cancels out and the margin (~4x vs 2x) absorbs runner noise.

@@ -191,6 +191,28 @@ runBenchMain(int argc, char **argv, const std::function<void()> &report)
     return 0;
 }
 
+/**
+ * Strip `--json <path>` from the arg list before it reaches
+ * benchmark::Initialize (which rejects unknown flags). Returns the
+ * path, or "" when absent. Shared by the baseline-emitting benches
+ * (bench_kernel_hotpath, bench_request_path) so the CI artifact
+ * plumbing stays in one place.
+ */
+inline std::string
+extractJsonPath(int &argc, char **argv)
+{
+    std::string json_path;
+    int out_argc = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+        else
+            argv[out_argc++] = argv[i];
+    }
+    argc = out_argc;
+    return json_path;
+}
+
 } // namespace skybyte::bench
 
 #endif // SKYBYTE_BENCH_SUPPORT_H

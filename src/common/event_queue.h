@@ -20,9 +20,13 @@
  *    free list carved from fixed-size chunks, so the steady state does
  *    zero allocator traffic per event.
  *  - Small-buffer-optimized callbacks. The callable is constructed in
- *    place inside the event record (up to kInlineBytes, which covers
- *    every lambda the simulator schedules) instead of a heap-backed
- *    std::function, and is never copied or moved afterwards.
+ *    place inside the event record (detail::EventCallback, sized to
+ *    cover every steady-state lambda the simulator schedules,
+ *    including a captured move-only MemCallback plus its response
+ *    payload) instead of a heap-backed std::function, and is never
+ *    copied or moved afterwards. The storage type lives in
+ *    common/inline_function.h, shared with the controller's slab
+ *    request records.
  *
  * Regression note (seed kernel): the seed's std::priority_queue kernel
  * copied the whole Entry — including its std::function — out of top()
@@ -50,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/types.h"
 
 namespace skybyte {
@@ -60,50 +65,14 @@ using EventFn = std::function<void()>;
 namespace detail {
 
 /**
- * Move-in, execute-in-place callback with small-buffer optimization.
- * Constructed directly inside an event record and never relocated, so
- * no move/copy machinery is needed; oversized callables (rare) fall
- * back to a single heap cell.
+ * Event-record callback storage: an InPlaceCallable sized so that the
+ * request path's largest steady-state completion lambda — a move-only
+ * MemCallback (48 B) plus a MemResponse payload (32 B) — constructs
+ * inline. Oversized callables (page-payload captures on the rare
+ * page-granular paths) fall back to a single heap cell inside
+ * InPlaceCallable.
  */
-class InlineCallback
-{
-  public:
-    static constexpr std::size_t kInlineBytes = 48;
-
-    template <typename F>
-    void
-    construct(F &&fn)
-    {
-        using Fn = std::decay_t<F>;
-        if constexpr (sizeof(Fn) <= kInlineBytes
-                      && alignof(Fn) <= alignof(std::max_align_t)) {
-            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
-            invoke_ = [](InlineCallback *self) {
-                (*std::launder(reinterpret_cast<Fn *>(self->buf_)))();
-            };
-            destroy_ = [](InlineCallback *self) {
-                std::launder(reinterpret_cast<Fn *>(self->buf_))->~Fn();
-            };
-        } else {
-            auto *heap = new Fn(std::forward<F>(fn));
-            ::new (static_cast<void *>(buf_)) Fn *(heap);
-            invoke_ = [](InlineCallback *self) {
-                (**std::launder(reinterpret_cast<Fn **>(self->buf_)))();
-            };
-            destroy_ = [](InlineCallback *self) {
-                delete *std::launder(reinterpret_cast<Fn **>(self->buf_));
-            };
-        }
-    }
-
-    void invoke() { invoke_(this); }
-    void destroy() { destroy_(this); }
-
-  private:
-    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
-    void (*invoke_)(InlineCallback *);
-    void (*destroy_)(InlineCallback *);
-};
+using EventCallback = InPlaceCallable<void(), 80>;
 
 /** One pending event: intrusive FIFO link + callback storage. */
 struct EventRecord
@@ -111,7 +80,7 @@ struct EventRecord
     Tick when;
     std::uint64_t seq; ///< schedule order, tie-break across levels
     EventRecord *next; ///< same-tick FIFO chain
-    InlineCallback cb;
+    EventCallback cb;
 };
 
 /**
@@ -251,16 +220,10 @@ class EventQueue
     bool
     step()
     {
-        detail::EventRecord *r = popNext();
+        detail::EventRecord *r = popNextAtMost(kTickMax);
         if (r == nullptr)
             return false;
-        --size_;
-        now_ = r->when;
-        r->cb.invoke();
-        // The callback ran out of the record's own storage, so the
-        // record is only recycled after the call returns.
-        r->cb.destroy();
-        slab_.release(r);
+        execute(r);
         return true;
     }
 
@@ -274,7 +237,7 @@ class EventQueue
     {
         if (size_ == 0)
             return kTickMax;
-        const std::size_t d = scanBitmap();
+        const std::size_t d = bucketed_ > 0 ? scanBitmap() : window_;
         const Tick bucket_when =
             d < window_ ? base_ + d : kTickMax;
         const Tick overflow_when =
@@ -288,14 +251,15 @@ class EventQueue
      * events remain pending past it (the seed kernel only advanced the
      * clock when the queue drained, which made back-to-back bounded
      * runs start from inconsistent clocks).
+     *
+     * The bounded pop fuses the nextEventTime()/popNext() pair the
+     * seed loop did — one calendar scan per event instead of two.
      */
     void
     run(Tick limit = kTickMax)
     {
-        while (nextEventTime() <= limit) {
-            if (!step())
-                break;
-        }
+        while (detail::EventRecord *r = popNextAtMost(limit))
+            execute(r);
         if (limit != kTickMax && now_ < limit)
             now_ = limit;
     }
@@ -314,6 +278,7 @@ class EventQueue
         base_ = 0;
         seq_ = 0;
         size_ = 0;
+        bucketed_ = 0;
     }
 
     /** Configured near-window size in ticks. */
@@ -345,6 +310,7 @@ class EventQueue
             tail_[idx]->next = r;
             tail_[idx] = r;
         }
+        ++bucketed_;
     }
 
     void
@@ -408,27 +374,35 @@ class EventQueue
             tail_[idx] = nullptr;
             bitmap_[idx >> 6] &= ~(1ull << (idx & 63));
         }
+        --bucketed_;
         return r;
     }
 
     /**
-     * Detach the earliest pending event, advancing the bucket cursor.
-     * The cursor (base_) only moves here, immediately before the event
-     * executes and now_ catches up, so schedule() never observes
-     * base_ > now_ and bucket indices stay unambiguous.
+     * Detach the earliest pending event if its time is <= @p limit,
+     * advancing the bucket cursor. The cursor (base_) only moves here,
+     * immediately before the event executes and now_ catches up, so
+     * schedule() never observes base_ > now_ and bucket indices stay
+     * unambiguous. The bucketed-event counter skips the bitmap scan
+     * entirely when every pending event sits in the overflow heap
+     * (flash-latency events routinely live past the window).
      */
     detail::EventRecord *
-    popNext()
+    popNextAtMost(Tick limit)
     {
         if (size_ == 0)
             return nullptr;
-        const std::size_t d = scanBitmap();
+        const std::size_t d = bucketed_ > 0 ? scanBitmap() : window_;
         if (d < window_) {
             // Bucketed events exist; the overflow heap only holds ticks
             // >= base_ + window_, so the earliest is in a bucket.
+            if (base_ + d > limit)
+                return nullptr;
             base_ += d;
         } else {
             assert(!overflow_.empty());
+            if (overflow_.front()->when > limit)
+                return nullptr;
             base_ = overflow_.front()->when;
         }
         // The window end advanced: migrate overflow events that now
@@ -436,6 +410,19 @@ class EventQueue
         // ticks (heap pop order keeps same-tick FIFO intact).
         migrateUpTo(base_ + window_);
         return popBucket(base_ & mask_);
+    }
+
+    /** Run @p r's callback and recycle the record. */
+    void
+    execute(detail::EventRecord *r)
+    {
+        --size_;
+        now_ = r->when;
+        r->cb.invoke();
+        // The callback ran out of the record's own storage, so the
+        // record is only recycled after the call returns.
+        r->cb.destroy();
+        slab_.release(r);
     }
 
     void
@@ -463,6 +450,7 @@ class EventQueue
     Tick base_ = 0; ///< tick of the bucket cursor (<= now_ when idle)
     std::uint64_t seq_ = 0;
     std::size_t size_ = 0;
+    std::size_t bucketed_ = 0; ///< events in buckets (rest: overflow)
 };
 
 /**

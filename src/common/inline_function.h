@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Small-buffer-optimized callables for the simulator's hot paths.
+ *
+ * std::function costs a heap allocation whenever the callable exceeds
+ * the implementation's tiny inline buffer (16 bytes on libstdc++) and
+ * its copyability forces every capture-by-copy of a callback chain to
+ * duplicate that allocation. Every simulated memory request used to pay
+ * for this several times: once in the controller's waiter record, once
+ * per completion lambda scheduled on the event queue, once per flash
+ * callback. The two types here eliminate that traffic:
+ *
+ *  - InlineFunction<Sig, Bytes>: a move-only std::function replacement
+ *    with a Bytes-sized inline buffer. Moving relocates the callable
+ *    (via its move constructor) instead of cloning it; oversized
+ *    callables (rare: page-payload captures) fall back to one heap
+ *    cell whose ownership moves by pointer swap.
+ *
+ *  - InPlaceCallable<Sig, Bytes>: the storage-only variant for slab
+ *    records (event queue, fetch waiters): construct() placement-news
+ *    the callable directly inside the record, invoke() runs it there,
+ *    destroy() tears it down. No move support and no empty state, so a
+ *    record costs exactly two function pointers of overhead. This is
+ *    the generalization of the event kernel's original InlineCallback.
+ *
+ * Both are deliberately not copyable: a callback is consumed exactly
+ * once in this codebase, and cloning is the cost being removed.
+ */
+
+#ifndef SKYBYTE_COMMON_INLINE_FUNCTION_H
+#define SKYBYTE_COMMON_INLINE_FUNCTION_H
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace skybyte {
+
+template <typename Sig, std::size_t Bytes = 48>
+class InlineFunction; // primary; only the R(Args...) form exists
+
+/**
+ * Move-only type-erased callable with a Bytes-sized inline buffer.
+ */
+template <typename R, typename... Args, std::size_t Bytes>
+class InlineFunction<R(Args...), Bytes>
+{
+  public:
+    static constexpr std::size_t kInlineBytes = Bytes;
+
+    InlineFunction() = default;
+    InlineFunction(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction>
+                  && std::is_invocable_r_v<R, std::decay_t<F> &, Args...>>>
+    InlineFunction(F &&fn)
+    {
+        emplace(std::forward<F>(fn));
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { moveFrom(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction &
+    operator=(std::nullptr_t)
+    {
+        reset();
+        return *this;
+    }
+
+    ~InlineFunction() { reset(); }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        return invoke_(buf_, std::forward<Args>(args)...);
+    }
+
+    /** Destroy the current target and construct @p fn in place. */
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        reset();
+        if constexpr (sizeof(Fn) <= Bytes
+                      && alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+            invoke_ = [](void *buf, Args &&...args) -> R {
+                return (*std::launder(reinterpret_cast<Fn *>(buf)))(
+                    std::forward<Args>(args)...);
+            };
+            manage_ = [](Op op, void *self, void *dst) {
+                Fn *fn_p = std::launder(reinterpret_cast<Fn *>(self));
+                if (op == Op::MoveTo)
+                    ::new (dst) Fn(std::move(*fn_p));
+                fn_p->~Fn();
+            };
+        } else {
+            auto *heap = new Fn(std::forward<F>(fn));
+            ::new (static_cast<void *>(buf_)) Fn *(heap);
+            invoke_ = [](void *buf, Args &&...args) -> R {
+                return (**std::launder(reinterpret_cast<Fn **>(buf)))(
+                    std::forward<Args>(args)...);
+            };
+            manage_ = [](Op op, void *self, void *dst) {
+                Fn **slot = std::launder(reinterpret_cast<Fn **>(self));
+                if (op == Op::MoveTo)
+                    ::new (dst) Fn *(*slot); // ownership moves by pointer
+                else
+                    delete *slot;
+            };
+        }
+    }
+
+  private:
+    enum class Op { MoveTo, Destroy };
+    using Invoke = R (*)(void *, Args &&...);
+    using Manage = void (*)(Op, void *, void *);
+
+    void
+    reset()
+    {
+        if (manage_ != nullptr)
+            manage_(Op::Destroy, buf_, nullptr);
+        invoke_ = nullptr;
+        manage_ = nullptr;
+    }
+
+    void
+    moveFrom(InlineFunction &other)
+    {
+        if (other.manage_ != nullptr) {
+            other.manage_(Op::MoveTo, other.buf_, buf_);
+            invoke_ = other.invoke_;
+            manage_ = other.manage_;
+            other.invoke_ = nullptr;
+            other.manage_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[Bytes];
+    Invoke invoke_ = nullptr;
+    Manage manage_ = nullptr;
+};
+
+template <typename Sig, std::size_t Bytes = 48>
+class InPlaceCallable; // primary; only the R(Args...) form exists
+
+/**
+ * Storage-only callable for slab records: constructed in place, never
+ * relocated, destroyed explicitly by the owning allocator. Invoking a
+ * non-constructed instance is undefined (records always construct the
+ * callback before publication).
+ */
+template <typename R, typename... Args, std::size_t Bytes>
+class InPlaceCallable<R(Args...), Bytes>
+{
+  public:
+    static constexpr std::size_t kInlineBytes = Bytes;
+
+    template <typename F>
+    void
+    construct(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= Bytes
+                      && alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+            invoke_ = [](void *buf, Args &&...args) -> R {
+                return (*std::launder(reinterpret_cast<Fn *>(buf)))(
+                    std::forward<Args>(args)...);
+            };
+            destroy_ = [](void *buf) {
+                std::launder(reinterpret_cast<Fn *>(buf))->~Fn();
+            };
+        } else {
+            auto *heap = new Fn(std::forward<F>(fn));
+            ::new (static_cast<void *>(buf_)) Fn *(heap);
+            invoke_ = [](void *buf, Args &&...args) -> R {
+                return (**std::launder(reinterpret_cast<Fn **>(buf)))(
+                    std::forward<Args>(args)...);
+            };
+            destroy_ = [](void *buf) {
+                delete *std::launder(reinterpret_cast<Fn **>(buf));
+            };
+        }
+    }
+
+    R
+    invoke(Args... args)
+    {
+        return invoke_(buf_, std::forward<Args>(args)...);
+    }
+
+    void destroy() { destroy_(buf_); }
+
+  private:
+    alignas(std::max_align_t) unsigned char buf_[Bytes];
+    R (*invoke_)(void *, Args &&...);
+    void (*destroy_)(void *);
+};
+
+} // namespace skybyte
+
+#endif // SKYBYTE_COMMON_INLINE_FUNCTION_H

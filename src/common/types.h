@@ -10,6 +10,7 @@
 #ifndef SKYBYTE_COMMON_TYPES_H
 #define SKYBYTE_COMMON_TYPES_H
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -41,6 +42,9 @@ inline constexpr std::uint32_t kPageBytes = 4096;
 
 /** Cachelines per flash page. */
 inline constexpr std::uint32_t kLinesPerPage = kPageBytes / kCachelineBytes;
+
+/** Functional contents of one 4 KB flash page (64 line payloads). */
+using PageData = std::array<LineValue, kLinesPerPage>;
 
 /** Convert nanoseconds to ticks. */
 constexpr Tick

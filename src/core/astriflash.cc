@@ -8,8 +8,44 @@ AstriFlashCache::AstriFlashCache(const SimConfig &cfg, EventQueue &eq,
       tags_(cfg.hostMem.promotedBytesMax, 8)
 {}
 
+AstriFlashCache::~AstriFlashCache()
+{
+    pending_.forEach([this](std::uint64_t, PendingFill *&fill) {
+        releaseFill(fill);
+    });
+}
+
 void
-AstriFlashCache::respond(const LineWaiter &w, std::uint64_t lpn,
+AstriFlashCache::releaseFill(PendingFill *fill)
+{
+    fill->readers.drainTo(readerSlab_);
+    fill->writes.drainTo(writeSlab_);
+    fillSlab_.release(fill);
+}
+
+void
+AstriFlashCache::addReader(PendingFill &fill, std::uint32_t off,
+                           Tick issued_at, MemCallback cb)
+{
+    LineWaiter *w = readerSlab_.alloc();
+    w->off = off;
+    w->issuedAt = issued_at;
+    w->cb = std::move(cb);
+    fill.readers.append(w);
+}
+
+void
+AstriFlashCache::addWrite(PendingFill &fill, std::uint32_t off,
+                          LineValue value)
+{
+    BufferedWrite *bw = writeSlab_.alloc();
+    bw->off = off;
+    bw->value = value;
+    fill.writes.append(bw);
+}
+
+void
+AstriFlashCache::respond(LineWaiter &w, std::uint64_t lpn,
                          const PageData &data, Tick t_page)
 {
     const Addr line_addr = lpn * kPageBytes
@@ -20,7 +56,8 @@ AstriFlashCache::respond(const LineWaiter &w, std::uint64_t lpn,
     resp.kind = MemResponseKind::Data;
     resp.lineAddr = line_addr;
     resp.value = data[w.off];
-    eq_.schedule(t_data, [cb = w.cb, resp] { cb(resp); });
+    eq_.schedule(t_data,
+                 [cb = std::move(w.cb), resp]() mutable { cb(resp); });
 }
 
 void
@@ -38,14 +75,14 @@ AstriFlashCache::read(Addr dev_line_addr, Tick when, MemCallback cb)
         resp.kind = MemResponseKind::Data;
         resp.lineAddr = dev_line_addr;
         resp.value = page->data[off];
-        eq_.schedule(t_data, [cb = std::move(cb), resp] { cb(resp); });
+        eq_.schedule(t_data,
+                     [cb = std::move(cb), resp]() mutable { cb(resp); });
         return;
     }
 
     astriStats_.hostMisses++;
-    const bool filling = pending_.count(lpn) != 0;
-    if (!filling)
-        startFill(lpn, when);
+    PendingFill **slot = pending_.find(lpn);
+    PendingFill *fill = slot != nullptr ? *slot : startFill(lpn, when);
 
     if (cfg_.policy.deviceTriggeredCtxSwitch) {
         // AstriFlash switches user-level threads on every host DRAM
@@ -55,10 +92,10 @@ AstriFlashCache::read(Addr dev_line_addr, Tick when, MemCallback cb)
         resp.kind = MemResponseKind::DelayHint;
         resp.lineAddr = dev_line_addr;
         eq_.schedule(when + nsToTicks(20.0),
-                     [cb = std::move(cb), resp] { cb(resp); });
+                     [cb = std::move(cb), resp]() mutable { cb(resp); });
         return;
     }
-    pending_[lpn].readers.push_back({off, when, std::move(cb)});
+    addReader(*fill, off, when, std::move(cb));
 }
 
 void
@@ -76,52 +113,58 @@ AstriFlashCache::write(Addr dev_line_addr, LineValue value, Tick when)
         return;
     }
     // Write-allocate at page granularity.
-    auto it = pending_.find(lpn);
-    if (it == pending_.end()) {
+    PendingFill **slot = pending_.find(lpn);
+    PendingFill *fill;
+    if (slot == nullptr) {
         astriStats_.hostMisses++;
-        startFill(lpn, when);
-        it = pending_.find(lpn);
+        fill = startFill(lpn, when);
+    } else {
+        fill = *slot;
     }
-    it->second.writes.emplace_back(off, value);
+    addWrite(*fill, off, value);
 }
 
-void
+AstriFlashCache::PendingFill *
 AstriFlashCache::startFill(std::uint64_t lpn, Tick when)
 {
-    pending_.try_emplace(lpn);
+    PendingFill *fill = fillSlab_.alloc();
+    pending_.tryEmplace(lpn, fill);
     ssd_.readPageToHost(lpn, when,
                         [this, lpn](Tick t, const PageData &data) {
-        auto node = pending_.extract(lpn);
+        PendingFill **slot = pending_.find(lpn);
+        PendingFill *node = slot != nullptr ? *slot : nullptr;
+        if (node != nullptr)
+            pending_.erase(lpn);
         astriStats_.pageFills++;
-
-        PageData merged = data;
-        if (!node.empty()) {
-            for (const auto &[off, value] : node.mapped().writes)
-                merged[off] = value;
-        }
 
         const Tick t_ins = hostDram_.serviceAt(t, kPageBytes,
                                                lpn * kPageBytes);
-        PageEvict ev = tags_.fill(lpn, merged);
-        if (CachedPage *page = tags_.lookup(lpn)) {
-            if (!node.empty()) {
-                for (const auto &[off, value] : node.mapped().writes) {
-                    page->dirty = true;
-                    page->dirtyMask |= 1ULL << off;
-                    page->touchedMask |= 1ULL << off;
-                    (void)value;
-                }
+        PageEvict ev;
+        PageData victim_data;
+        CachedPage *page = tags_.fill(lpn, ev, &victim_data);
+        page->data = data;
+        if (node != nullptr) {
+            for (BufferedWrite *bw = node->writes.head; bw != nullptr;
+                 bw = bw->next) {
+                page->data[bw->off] = bw->value;
+                page->dirty = true;
+                page->dirtyMask |= 1ULL << bw->off;
+                page->touchedMask |= 1ULL << bw->off;
             }
         }
         if (ev.evicted && ev.dirty) {
             astriStats_.dirtyWritebacks++;
-            ssd_.writePageFromHost(ev.lpn, ev.data, t_ins);
+            ssd_.writePageFromHost(ev.lpn, victim_data, t_ins);
         }
-        if (!node.empty()) {
-            for (const auto &w : node.mapped().readers)
-                respond(w, lpn, merged, t_ins);
+        if (node != nullptr) {
+            for (LineWaiter *w = node->readers.head; w != nullptr;
+                 w = w->next) {
+                respond(*w, lpn, page->data, t_ins);
+            }
+            releaseFill(node);
         }
     });
+    return fill;
 }
 
 LineValue

@@ -8,17 +8,21 @@
  * dirty victim pages are written back to the SSD whole. The SSD is
  * treated as a black box accessed only at page granularity — no write
  * log integration, exactly as the paper argues.
+ *
+ * The fill path mirrors the SSD controller's request-path layout:
+ * in-flight fills are slab records with intrusive FIFO chains of
+ * readers/buffered writes, indexed by an open-addressing FlatMap.
  */
 
 #ifndef SKYBYTE_CORE_ASTRIFLASH_H
 #define SKYBYTE_CORE_ASTRIFLASH_H
 
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
 
 #include "common/config.h"
 #include "common/event_queue.h"
+#include "common/flat_map.h"
+#include "common/slab.h"
 #include "core/page_cache.h"
 #include "core/ssd_controller.h"
 #include "cpu/mem_backend.h"
@@ -44,6 +48,10 @@ class AstriFlashCache
   public:
     AstriFlashCache(const SimConfig &cfg, EventQueue &eq,
                     SsdController &ssd, DramModel &host_dram);
+    ~AstriFlashCache();
+
+    AstriFlashCache(const AstriFlashCache &) = delete;
+    AstriFlashCache &operator=(const AstriFlashCache &) = delete;
 
     /** Demand read of a device line through the host page cache. */
     void read(Addr dev_line_addr, Tick when, MemCallback cb);
@@ -57,29 +65,47 @@ class AstriFlashCache
     const AstriFlashStats &stats() const { return astriStats_; }
 
   private:
+    /** One read waiting on an in-flight fill (intrusive FIFO). */
     struct LineWaiter
     {
-        std::uint32_t off;
-        Tick issuedAt;
+        LineWaiter *next = nullptr;
+        std::uint32_t off = 0;
+        Tick issuedAt = 0;
         MemCallback cb;
     };
 
-    struct PendingFill
+    /** One write-allocate line buffered until the fill lands. */
+    struct BufferedWrite
     {
-        std::vector<LineWaiter> readers;
-        std::vector<std::pair<std::uint32_t, LineValue>> writes;
+        BufferedWrite *next = nullptr;
+        std::uint32_t off = 0;
+        LineValue value = 0;
     };
 
-    void startFill(std::uint64_t lpn, Tick when);
-    void respond(const LineWaiter &w, std::uint64_t lpn,
-                 const PageData &data, Tick t_page);
+    /** One in-flight page fill (slab-allocated, address-stable). */
+    struct PendingFill
+    {
+        IntrusiveFifo<LineWaiter> readers;
+        IntrusiveFifo<BufferedWrite> writes;
+    };
+
+    PendingFill *startFill(std::uint64_t lpn, Tick when);
+    void addReader(PendingFill &fill, std::uint32_t off, Tick issued_at,
+                   MemCallback cb);
+    void addWrite(PendingFill &fill, std::uint32_t off, LineValue value);
+    void releaseFill(PendingFill *fill);
+    void respond(LineWaiter &w, std::uint64_t lpn, const PageData &data,
+                 Tick t_page);
 
     const SimConfig &cfg_;
     EventQueue &eq_;
     SsdController &ssd_;
     DramModel &hostDram_;
     PageCache tags_;
-    std::unordered_map<std::uint64_t, PendingFill> pending_;
+    FlatMap<PendingFill *> pending_;
+    Slab<PendingFill> fillSlab_;
+    Slab<LineWaiter> readerSlab_;
+    Slab<BufferedWrite> writeSlab_;
     AstriFlashStats astriStats_;
 };
 

@@ -56,19 +56,18 @@ PageCache::probe(std::uint64_t lpn) const
     return nullptr;
 }
 
-PageEvict
-PageCache::fill(std::uint64_t lpn, const PageData &data)
+CachedPage *
+PageCache::fill(std::uint64_t lpn, PageEvict &ev, PageData *victim_data)
 {
-    PageEvict out;
+    ev = PageEvict{};
     CachedPage *set = &entries_[static_cast<std::size_t>(setOf(lpn))
                                 * ways_];
     CachedPage *victim = nullptr;
     for (std::uint32_t w = 0; w < ways_; ++w) {
         if (set[w].valid && set[w].lpn == lpn) {
-            // Refresh in place (racing fills).
-            set[w].data = data;
+            // Refresh in place (racing fills); masks survive.
             set[w].lru = ++lruClock_;
-            return out;
+            return &set[w];
         }
     }
     for (std::uint32_t w = 0; w < ways_; ++w) {
@@ -80,12 +79,15 @@ PageCache::fill(std::uint64_t lpn, const PageData &data)
             victim = &set[w];
     }
     if (victim->valid) {
-        out.evicted = true;
-        out.dirty = victim->dirty;
-        out.lpn = victim->lpn;
-        out.touchedMask = victim->touchedMask;
-        out.dirtyMask = victim->dirtyMask;
-        out.data = victim->data;
+        ev.evicted = true;
+        ev.dirty = victim->dirty;
+        ev.lpn = victim->lpn;
+        ev.touchedMask = victim->touchedMask;
+        ev.dirtyMask = victim->dirtyMask;
+        // Only a dirty victim needs its payload preserved (writeback);
+        // clean evictions drop the page without touching the 4 KB.
+        if (victim->dirty && victim_data != nullptr)
+            *victim_data = victim->data;
     } else {
         resident_++;
     }
@@ -95,40 +97,32 @@ PageCache::fill(std::uint64_t lpn, const PageData &data)
     victim->touchedMask = 0;
     victim->dirtyMask = 0;
     victim->lru = ++lruClock_;
-    victim->data = data;
-    return out;
+    return victim;
 }
 
 bool
-PageCache::invalidate(std::uint64_t lpn, PageEvict *out)
+PageCache::invalidate(std::uint64_t lpn, PageEvict *ev,
+                      PageData *victim_data)
 {
     CachedPage *set = &entries_[static_cast<std::size_t>(setOf(lpn))
                                 * ways_];
     for (std::uint32_t w = 0; w < ways_; ++w) {
         if (set[w].valid && set[w].lpn == lpn) {
-            if (out != nullptr) {
-                out->evicted = true;
-                out->dirty = set[w].dirty;
-                out->lpn = lpn;
-                out->touchedMask = set[w].touchedMask;
-                out->dirtyMask = set[w].dirtyMask;
-                out->data = set[w].data;
+            if (ev != nullptr) {
+                ev->evicted = true;
+                ev->dirty = set[w].dirty;
+                ev->lpn = lpn;
+                ev->touchedMask = set[w].touchedMask;
+                ev->dirtyMask = set[w].dirtyMask;
             }
+            if (victim_data != nullptr)
+                *victim_data = set[w].data;
             set[w].valid = false;
             resident_--;
             return true;
         }
     }
     return false;
-}
-
-void
-PageCache::forEach(const std::function<void(CachedPage &)> &fn)
-{
-    for (auto &page : entries_) {
-        if (page.valid)
-            fn(page);
-    }
 }
 
 } // namespace skybyte

@@ -5,13 +5,18 @@
  * resident until its thread resumes). Each entry tracks per-line
  * touched/dirty bitmaps so evictions can feed the Figure 5/6 locality
  * histograms and Base-CSSD's dirty-page writebacks.
+ *
+ * The fill path is copy-free: fill() returns the (possibly recycled)
+ * slot and the caller writes the 4 KB payload directly into it, instead
+ * of passing a page by value that the cache copies again. Evictions
+ * report metadata only; the victim payload is copied out solely when it
+ * was dirty and the caller supplied a buffer for the writeback.
  */
 
 #ifndef SKYBYTE_CORE_PAGE_CACHE_H
 #define SKYBYTE_CORE_PAGE_CACHE_H
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/types.h"
@@ -31,7 +36,7 @@ struct CachedPage
     PageData data{};
 };
 
-/** Result of inserting a page. */
+/** Eviction metadata of an insert/invalidate (no payload; see fill). */
 struct PageEvict
 {
     bool evicted = false;
@@ -39,7 +44,6 @@ struct PageEvict
     std::uint64_t lpn = 0;
     std::uint64_t touchedMask = 0;
     std::uint64_t dirtyMask = 0;
-    PageData data{};
 };
 
 /**
@@ -57,21 +61,37 @@ class PageCache
     const CachedPage *probe(std::uint64_t lpn) const;
 
     /**
-     * Insert a page, evicting LRU if needed. The caller owns handling
-     * the eviction (write back dirty pages, record locality stats).
+     * Claim the slot for @p lpn, evicting LRU if needed, and return it
+     * for the caller to write `->data` in place. On a re-fill of a
+     * resident page the slot keeps its masks (refresh). @p ev reports
+     * what was evicted; a dirty victim's payload is copied into
+     * @p victim_data when non-null (the caller owns the writeback).
      */
-    PageEvict fill(std::uint64_t lpn, const PageData &data);
+    CachedPage *fill(std::uint64_t lpn, PageEvict &ev,
+                     PageData *victim_data = nullptr);
 
-    /** Remove @p lpn (migration completion). @retval true if present. */
-    bool invalidate(std::uint64_t lpn, PageEvict *out = nullptr);
+    /**
+     * Remove @p lpn (migration completion). @retval true if present.
+     * @p ev / @p victim_data as in fill().
+     */
+    bool invalidate(std::uint64_t lpn, PageEvict *ev = nullptr,
+                    PageData *victim_data = nullptr);
 
     std::uint64_t capacityPages() const { return capacityPages_; }
     std::uint64_t residentPages() const { return resident_; }
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
-    /** Iterate resident pages (compaction flush path). */
-    void forEach(const std::function<void(CachedPage &)> &fn);
+    /** Iterate resident pages (statically dispatched; no std::function). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (auto &page : entries_) {
+            if (page.valid)
+                fn(page);
+        }
+    }
 
   private:
     std::uint32_t setOf(std::uint64_t lpn) const;

@@ -48,7 +48,7 @@ Plb::allocate(std::uint64_t base_lpn, std::uint32_t region_pages)
     Entry entry;
     entry.baseLpn = base_lpn;
     entry.regionPages = std::max<std::uint32_t>(region_pages, 1);
-    auto [it, inserted] = entries_.emplace(base_lpn, entry);
+    auto [slot, inserted] = entries_.tryEmplace(base_lpn, entry);
     if (!inserted)
         return nullptr; // already migrating: caller bug, refuse quietly
     for (std::uint32_t p = 0; p < entry.regionPages; ++p)
@@ -56,27 +56,25 @@ Plb::allocate(std::uint64_t base_lpn, std::uint32_t region_pages)
     stats_.allocations++;
     stats_.peakOccupancy =
         std::max<std::uint64_t>(stats_.peakOccupancy, entries_.size());
-    return &it->second;
+    return slot;
 }
 
 Plb::Entry *
 Plb::find(std::uint64_t lpn)
 {
-    auto idx = pageIndex_.find(lpn);
-    if (idx == pageIndex_.end())
+    const std::uint64_t *base = pageIndex_.find(lpn);
+    if (base == nullptr)
         return nullptr;
-    auto it = entries_.find(idx->second);
-    return it == entries_.end() ? nullptr : &it->second;
+    return entries_.find(*base);
 }
 
 const Plb::Entry *
 Plb::find(std::uint64_t lpn) const
 {
-    auto idx = pageIndex_.find(lpn);
-    if (idx == pageIndex_.end())
+    const std::uint64_t *base = pageIndex_.find(lpn);
+    if (base == nullptr)
         return nullptr;
-    auto it = entries_.find(idx->second);
-    return it == entries_.end() ? nullptr : &it->second;
+    return entries_.find(*base);
 }
 
 bool
@@ -100,12 +98,13 @@ Plb::markLine(Entry &entry, std::uint32_t chunk, std::uint32_t line)
 void
 Plb::release(std::uint64_t base_lpn)
 {
-    auto it = entries_.find(base_lpn);
-    if (it == entries_.end())
+    Entry *entry = entries_.find(base_lpn);
+    if (entry == nullptr)
         return;
-    for (std::uint32_t p = 0; p < it->second.regionPages; ++p)
+    const std::uint32_t region_pages = entry->regionPages;
+    for (std::uint32_t p = 0; p < region_pages; ++p)
         pageIndex_.erase(base_lpn + p);
-    entries_.erase(it);
+    entries_.erase(base_lpn);
     stats_.releases++;
 }
 

@@ -23,8 +23,8 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace skybyte {
@@ -105,9 +105,14 @@ class Plb
 
   private:
     std::uint32_t capacity_;
-    std::unordered_map<std::uint64_t, Entry> entries_; ///< by baseLpn
+    /**
+     * Live entries by baseLpn. Open addressing: entry pointers are
+     * invalidated by a later allocate()/release(); callers hold them
+     * only within one migration step (completeBurst re-finds).
+     */
+    FlatMap<Entry> entries_;
     /** 4 KB page -> region base, for O(1) find() on huge regions. */
-    std::unordered_map<std::uint64_t, std::uint64_t> pageIndex_;
+    FlatMap<std::uint64_t> pageIndex_;
     PlbStats stats_;
 };
 

@@ -7,7 +7,7 @@ namespace skybyte {
 void
 ActiveInactiveLists::insert(std::uint64_t key, Tick now)
 {
-    if (index_.count(key) != 0)
+    if (index_.contains(key))
         return;
     active_.push_front(Node{key, false, now});
     index_[key] = Position{true, active_.begin()};
@@ -17,22 +17,21 @@ ActiveInactiveLists::insert(std::uint64_t key, Tick now)
 void
 ActiveInactiveLists::touch(std::uint64_t key, Tick now)
 {
-    auto it = index_.find(key);
-    if (it == index_.end())
+    Position *pos = index_.find(key);
+    if (pos == nullptr)
         return;
-    Position &pos = it->second;
-    pos.it->lastUse = now;
-    if (pos.inActive) {
-        pos.it->referenced = true; // lazy: no list movement on hot path
+    pos->it->lastUse = now;
+    if (pos->inActive) {
+        pos->it->referenced = true; // lazy: no list movement on hot path
         return;
     }
     // Inactive page referenced: activate it (mm moves it to the active
     // head and clears the referenced bit).
-    Node node = *pos.it;
-    inactive_.erase(pos.it);
+    Node node = *pos->it;
+    inactive_.erase(pos->it);
     node.referenced = false;
     active_.push_front(node);
-    pos = Position{true, active_.begin()};
+    *pos = Position{true, active_.begin()};
     stats_.activations++;
     rebalance();
 }
@@ -40,11 +39,11 @@ ActiveInactiveLists::touch(std::uint64_t key, Tick now)
 void
 ActiveInactiveLists::erase(std::uint64_t key)
 {
-    auto it = index_.find(key);
-    if (it == index_.end())
+    Position *pos = index_.find(key);
+    if (pos == nullptr)
         return;
-    (it->second.inActive ? active_ : inactive_).erase(it->second.it);
-    index_.erase(it);
+    (pos->inActive ? active_ : inactive_).erase(pos->it);
+    index_.erase(key);
 }
 
 void

@@ -23,8 +23,8 @@
 
 #include <cstdint>
 #include <list>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace skybyte {
@@ -65,7 +65,7 @@ class ActiveInactiveLists
 
     bool tracked(std::uint64_t key) const
     {
-        return index_.count(key) != 0;
+        return index_.contains(key);
     }
     std::uint64_t size() const { return index_.size(); }
     std::uint64_t activeSize() const { return active_.size(); }
@@ -92,7 +92,8 @@ class ActiveInactiveLists
 
     List active_;
     List inactive_;
-    std::unordered_map<std::uint64_t, Position> index_;
+    /** key -> list position (std::list iterators stay valid on moves). */
+    FlatMap<Position> index_;
     ReclaimStats stats_;
 };
 

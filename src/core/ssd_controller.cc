@@ -23,6 +23,55 @@ SsdController::SsdController(const SimConfig &cfg, EventQueue &eq,
     compactJobs_.resize(cfg.flash.channels);
 }
 
+SsdController::~SsdController()
+{
+    // Fetches still in flight at teardown (timed-out runs) own waiter
+    // records whose callbacks may hold heap fallbacks: drain them.
+    fetches_.forEach([this](std::uint64_t, PendingFetch *&pf) {
+        releaseFetch(pf);
+    });
+}
+
+void
+SsdController::releaseFetch(PendingFetch *pf)
+{
+    pf->waiters.drainTo(waiterSlab_);
+    pf->pageWaiters.drainTo(pageWaiterSlab_);
+    pf->pendingWrites.drainTo(pendingWriteSlab_);
+    fetchSlab_.release(pf);
+}
+
+void
+SsdController::addWaiter(PendingFetch &pf, std::uint32_t off,
+                         Tick ready_at, MemCallback cb)
+{
+    Waiter *w = waiterSlab_.alloc();
+    w->lineOff = off;
+    w->readyAt = ready_at;
+    w->cb = std::move(cb);
+    pf.waiters.append(w);
+}
+
+void
+SsdController::addPageWaiter(PendingFetch &pf, Tick ready_at,
+                             PageReadFn cb)
+{
+    PageWaiter *pw = pageWaiterSlab_.alloc();
+    pw->readyAt = ready_at;
+    pw->cb = std::move(cb);
+    pf.pageWaiters.append(pw);
+}
+
+void
+SsdController::addPendingWrite(PendingFetch &pf, std::uint32_t off,
+                               LineValue value)
+{
+    PendingWrite *wr = pendingWriteSlab_.alloc();
+    wr->off = off;
+    wr->value = value;
+    pf.pendingWrites.append(wr);
+}
+
 Tick
 SsdController::indexLatency() const
 {
@@ -46,7 +95,7 @@ SsdController::shouldHint(std::uint64_t lpn, Tick now, Tick est) const
 }
 
 void
-SsdController::sendDelayHint(Tick t, const MemCallback &cb)
+SsdController::sendDelayHint(Tick t, MemCallback cb)
 {
     stats_.delayHintsSent++;
     // The hint travels as a Figure 8 NDR flit with the SkyByte-Delay
@@ -58,7 +107,7 @@ SsdController::sendDelayHint(Tick t, const MemCallback &cb)
     ndr.tag = link_.nextTag();
     const NdrFlit flit = encodeNdr(ndr);
     const Tick t_host = link_.deliverToHost(t, kHeaderBytes);
-    eq_.schedule(t_host, [cb, flit] {
+    eq_.schedule(t_host, [cb = std::move(cb), flit]() mutable {
         const auto decoded = decodeNdr(flit);
         assert(decoded
                && decoded->opcode == CxlNdrOpcode::SkyByteDelay);
@@ -85,7 +134,12 @@ SsdController::touchForPromotion(std::uint64_t lpn, Tick now)
     // candidate stays eligible and retries on a later access.
     if (count >= cfg_.policy.hotPageThreshold && isPageCached(lpn)) {
         if (hotPageHook_(lpn, now)) {
-            count = ~0u;
+            // The hook can demote other regions synchronously, and
+            // their writePageFromHost copy-backs erase counters from
+            // this open-addressing table — relocating slots. Re-find
+            // instead of writing through the pre-hook reference.
+            if (auto *latch = accessCounts_.find(lpn))
+                *latch = ~0u;
             stats_.pagePromotionsSignalled++;
         }
     }
@@ -128,36 +182,38 @@ SsdController::read(Addr dev_line_addr, Tick when, MemCallback cb)
         resp.kind = MemResponseKind::Data;
         resp.lineAddr = dev_line_addr;
         resp.value = value;
-        eq_.schedule(t_resp, [cb = std::move(cb), resp] { cb(resp); });
+        eq_.schedule(t_resp,
+                     [cb = std::move(cb), resp]() mutable { cb(resp); });
         return;
     }
 
     // R3: flash fetch needed.
     stats_.readMisses++;
-    auto it = fetches_.find(lpn);
-    if (it != fetches_.end()) {
-        PendingFetch &pf = it->second;
+    if (PendingFetch **slot = fetches_.find(lpn)) {
+        PendingFetch *pf = *slot;
         const Tick remaining =
-            pf.expectedDone > t_idx ? pf.expectedDone - t_idx : 0;
+            pf->expectedDone > t_idx ? pf->expectedDone - t_idx : 0;
         if (cfg_.policy.deviceTriggeredCtxSwitch
             && remaining > cfg_.policy.csThreshold) {
-            sendDelayHint(t_idx, cb);
+            sendDelayHint(t_idx, std::move(cb));
             return;
         }
-        pf.prefetch = false;
-        pf.waiters.push_back({off, t_idx, std::move(cb)});
+        pf->prefetch = false;
+        addWaiter(*pf, off, t_idx, std::move(cb));
         return;
     }
 
     const Tick est = ftl_.estimateReadDelay(lpn, t_idx);
     const bool hint = shouldHint(lpn, t_idx, est);
-    startFetch(lpn, t_idx, false);
+    // Slab records are address-stable: pf survives the prefetch's
+    // fetch-table insert below (the map only stores the pointer).
+    PendingFetch *pf = startFetch(lpn, t_idx, false);
 
     // Sequential next-page prefetch (Base-CSSD optimization [32],[62]),
     // throttled so useless prefetches cannot saturate a busy channel.
     if (cfg_.ssdCache.baseCssdPrefetch) {
         const std::uint64_t next = lpn + 1;
-        if (cache_.probe(next) == nullptr && fetches_.count(next) == 0
+        if (cache_.probe(next) == nullptr && !fetches_.contains(next)
             && next * kPageBytes < cfg_.flash.totalBytes()
             && ftl_.channelOf(next).pendingReads() < 2
             && !ftl_.gcActiveFor(next)) {
@@ -167,19 +223,22 @@ SsdController::read(Addr dev_line_addr, Tick when, MemCallback cb)
     }
 
     if (hint) {
-        sendDelayHint(t_idx, cb);
+        sendDelayHint(t_idx, std::move(cb));
         return;
     }
-    fetches_[lpn].waiters.push_back({off, t_idx, std::move(cb)});
+    addWaiter(*pf, off, t_idx, std::move(cb));
 }
 
-SsdController::PendingFetch &
+SsdController::PendingFetch *
 SsdController::startFetch(std::uint64_t lpn, Tick t, bool prefetch)
 {
-    PendingFetch &pf = fetches_[lpn];
-    pf.startedAt = t;
-    pf.prefetch = prefetch;
-    pf.expectedDone = t + ftl_.estimateReadDelay(lpn, t);
+    auto [slot, inserted] = fetches_.tryEmplace(lpn, nullptr);
+    if (inserted)
+        *slot = fetchSlab_.alloc();
+    PendingFetch *pf = *slot;
+    pf->startedAt = t;
+    pf->prefetch = prefetch;
+    pf->expectedDone = t + ftl_.estimateReadDelay(lpn, t);
     ftl_.readPage(lpn, t, [this, lpn](Tick done) {
         onPageArrived(lpn, done);
     });
@@ -191,16 +250,12 @@ SsdController::mergeLogInto(std::uint64_t lpn, PageData &data)
 {
     if (!logEnabled())
         return;
-    for (std::uint32_t off = 0; off < kLinesPerPage; ++off) {
-        const Addr la = lpn * kPageBytes
-                        + static_cast<Addr>(off) * kCachelineBytes;
-        if (auto v = log_->lookup(la))
-            data[off] = *v;
-    }
+    log_->mergePageInto(lpn, data);
 }
 
 void
-SsdController::handleEviction(const PageEvict &ev, Tick when)
+SsdController::handleEviction(const PageEvict &ev,
+                              const PageData *victim_data, Tick when)
 {
     if (!ev.evicted)
         return;
@@ -209,16 +264,17 @@ SsdController::handleEviction(const PageEvict &ev, Tick when)
         / kLinesPerPage);
     if (ev.dirty && !logEnabled()) {
         // Base-CSSD: write the whole dirty page back to flash.
+        assert(victim_data != nullptr);
         stats_.dirtyEvictions++;
         stats_.writeLocality.record(
             static_cast<double>(std::popcount(ev.dirtyMask))
             / kLinesPerPage);
-        ftl_.writePage(ev.lpn, when, ev.data, nullptr);
+        ftl_.writePage(ev.lpn, when, *victim_data, nullptr);
     }
 }
 
 void
-SsdController::respondLine(const Waiter &w, std::uint64_t lpn, Tick t_page,
+SsdController::respondLine(Waiter &w, std::uint64_t lpn, Tick t_page,
                            const PageData &data)
 {
     const Addr line_addr = lpn * kPageBytes
@@ -236,55 +292,66 @@ SsdController::respondLine(const Waiter &w, std::uint64_t lpn, Tick t_page,
     resp.kind = MemResponseKind::Data;
     resp.lineAddr = line_addr;
     resp.value = data[w.lineOff];
-    eq_.schedule(t_resp, [cb = w.cb, resp] { cb(resp); });
+    eq_.schedule(t_resp,
+                 [cb = std::move(w.cb), resp]() mutable { cb(resp); });
 }
 
 void
 SsdController::onPageArrived(std::uint64_t lpn, Tick done)
 {
-    auto node = fetches_.extract(lpn);
-    if (node.empty())
+    PendingFetch **slot = fetches_.find(lpn);
+    if (slot == nullptr)
         return;
-    PendingFetch &pf = node.mapped();
+    PendingFetch *pf = *slot;
+    fetches_.erase(lpn);
 
-    stats_.flashReadLatency.record(done - pf.startedAt);
+    stats_.flashReadLatency.record(done - pf->startedAt);
 
-    PageData data = ftl_.pageData(lpn);
-    mergeLogInto(lpn, data);
-
-    // Install into the data cache (a 4 KB SSD DRAM write).
+    // Install into the data cache (a 4 KB SSD DRAM write). The payload
+    // is written directly into the claimed slot: no transient PageData.
     const Tick t_ins = dram_.serviceAt(done, kPageBytes, lpn * kPageBytes);
-    PageEvict ev = cache_.fill(lpn, data);
-    handleEviction(ev, t_ins);
-    CachedPage *page = cache_.lookup(lpn);
+    PageEvict ev;
+    PageData victim_data;
+    CachedPage *page =
+        cache_.fill(lpn, ev, logEnabled() ? nullptr : &victim_data);
+    page->data = ftl_.pageData(lpn);
+    mergeLogInto(lpn, page->data);
+    handleEviction(ev, ev.dirty ? &victim_data : nullptr, t_ins);
 
-    // Base-CSSD write-allocate: apply buffered line writes.
-    for (const auto &[off, value] : pf.pendingWrites) {
-        if (page != nullptr) {
-            page->data[off] = value;
-            page->dirty = true;
-            page->dirtyMask |= 1ULL << off;
-            page->touchedMask |= 1ULL << off;
-        }
-        ftl_.pageData(lpn)[off] = value;
-    }
-
-    for (const auto &w : pf.waiters) {
-        if (page != nullptr)
-            page->touchedMask |= 1ULL << w.lineOff;
-        respondLine(w, lpn, t_ins, data);
+    // Waiters respond from the fetched snapshot, BEFORE the buffered
+    // write-allocate lines apply: those writes arrived after the reads
+    // they would otherwise leak into.
+    for (Waiter *w = pf->waiters.head; w != nullptr; w = w->next) {
+        page->touchedMask |= 1ULL << w->lineOff;
+        respondLine(*w, lpn, t_ins, page->data);
         // The page is resident now, so hot-page promotion can trigger
         // even for pages whose popularity was only visible via misses.
         touchForPromotion(lpn, t_ins);
     }
-    for (const auto &pw : pf.pageWaiters) {
+    for (PageWaiter *pw = pf->pageWaiters.head; pw != nullptr;
+         pw = pw->next) {
         const Tick t_data = dram_.serviceAt(t_ins, kPageBytes,
                                             lpn * kPageBytes);
         const Tick t_resp = link_.deliverToHost(t_data, kPageBytes);
-        eq_.schedule(t_resp, [cb = pw.cb, t_resp, data] {
+        eq_.schedule(t_resp, [cb = std::move(pw->cb), t_resp,
+                              data = page->data]() mutable {
             cb(t_resp, data);
         });
     }
+
+    // Base-CSSD write-allocate: apply buffered line writes.
+    if (!pf->pendingWrites.empty()) {
+        PageData &flash = ftl_.pageData(lpn);
+        for (PendingWrite *wr = pf->pendingWrites.head; wr != nullptr;
+             wr = wr->next) {
+            page->data[wr->off] = wr->value;
+            page->dirty = true;
+            page->dirtyMask |= 1ULL << wr->off;
+            page->touchedMask |= 1ULL << wr->off;
+            flash[wr->off] = wr->value;
+        }
+    }
+    releaseFetch(pf);
 }
 
 void
@@ -321,13 +388,12 @@ SsdController::write(Addr dev_line_addr, LineValue value, Tick when)
         ftl_.pageData(lpn)[off] = value;
         return;
     }
-    auto it = fetches_.find(lpn);
-    if (it != fetches_.end()) {
-        it->second.pendingWrites.emplace_back(off, value);
+    if (PendingFetch **slot = fetches_.find(lpn)) {
+        addPendingWrite(**slot, off, value);
         return;
     }
     stats_.rmwFetches++;
-    startFetch(lpn, t_idx, false).pendingWrites.emplace_back(off, value);
+    addPendingWrite(*startFetch(lpn, t_idx, false), off, value);
 }
 
 void
@@ -341,9 +407,19 @@ SsdController::maybeStartCompaction(Tick now)
     compactStart_ = now;
     stats_.compactionRuns++;
 
-    buf.forEachPage([this](std::uint64_t lpa, const LogPageTable &) {
-        compactJobs_[lpa % cfg_.flash.channels].push_back(lpa);
+    // Enumerate the draining buffer's pages in ascending-LPA order:
+    // the flat index iterates in (deterministic but layout-defined)
+    // slot order, and the per-channel job order below is part of the
+    // simulation's observable timing, so it must not depend on hash
+    // container internals.
+    std::vector<std::uint64_t> lpas;
+    lpas.reserve(buf.pageCount());
+    buf.forEachPage([&lpas](std::uint64_t lpa, const LogPageTable &) {
+        lpas.push_back(lpa);
     });
+    std::sort(lpas.begin(), lpas.end());
+    for (std::uint64_t lpa : lpas)
+        compactJobs_[lpa % cfg_.flash.channels].push_back(lpa);
 
     compactOutstanding_ = 0;
     for (std::uint32_t ch = 0; ch < cfg_.flash.channels; ++ch) {
@@ -369,16 +445,10 @@ SsdController::issueCompactionJob(std::uint32_t ch, Tick when)
 
         // Gather the logged lines from the DRAINING buffer; the page may
         // have been migrated away mid-drain, in which case we skip it.
-        std::uint64_t mask = 0;
-        std::uint32_t dirty_lines = 0;
         PageData merged{};
-        for (std::uint32_t off = 0; off < kLinesPerPage; ++off) {
-            if (auto v = log_->drainingValueAt(lpa, off)) {
-                merged[off] = *v;
-                mask |= 1ULL << off;
-                dirty_lines++;
-            }
-        }
+        const std::uint64_t mask = log_->gatherDraining(lpa, merged);
+        const auto dirty_lines =
+            static_cast<std::uint32_t>(std::popcount(mask));
         if (dirty_lines == 0)
             continue;
         stats_.writeLocality.record(
@@ -437,9 +507,7 @@ SsdController::compactionJobDone(std::uint32_t ch, Tick done)
 }
 
 void
-SsdController::readPageToHost(std::uint64_t lpn, Tick when,
-                              std::function<void(Tick, const PageData &)>
-                                  cb)
+SsdController::readPageToHost(std::uint64_t lpn, Tick when, PageReadFn cb)
 {
     const Tick t_arr = link_.deliverToDevice(when, kHeaderBytes);
     const Tick t_idx = t_arr + indexLatency();
@@ -450,17 +518,15 @@ SsdController::readPageToHost(std::uint64_t lpn, Tick when,
         const Tick t_data = dram_.serviceAt(t_idx, kPageBytes,
                                             lpn * kPageBytes);
         const Tick t_resp = link_.deliverToHost(t_data, kPageBytes);
-        eq_.schedule(t_resp,
-                     [cb = std::move(cb), t_resp, data] { cb(t_resp, data); });
+        eq_.schedule(t_resp, [cb = std::move(cb), t_resp,
+                              data]() mutable { cb(t_resp, data); });
         return;
     }
-    auto it = fetches_.find(lpn);
-    if (it != fetches_.end()) {
-        it->second.pageWaiters.push_back({t_idx, std::move(cb)});
+    if (PendingFetch **slot = fetches_.find(lpn)) {
+        addPageWaiter(**slot, t_idx, std::move(cb));
         return;
     }
-    startFetch(lpn, t_idx, false).pageWaiters.push_back(
-        {t_idx, std::move(cb)});
+    addPageWaiter(*startFetch(lpn, t_idx, false), t_idx, std::move(cb));
 }
 
 void
@@ -475,6 +541,12 @@ SsdController::writePageFromHost(std::uint64_t lpn, const PageData &data,
     }
     if (logEnabled())
         log_->invalidatePage(lpn);
+    // The host rewrote the page wholesale; its SSD-side access history
+    // is moot. A counter can only exist here if the page was never
+    // promoted (promotion completion already erased it), so this keeps
+    // the counter table from accumulating entries for pages the host
+    // owns. No-op in AstriFlash/TPP modes, which never populate it.
+    accessCounts_.erase(lpn);
     stats_.writeLocality.record(1.0);
     ftl_.writePage(lpn, t_arr, data, nullptr);
 }
@@ -485,16 +557,14 @@ SsdController::isPageCached(std::uint64_t lpn) const
     return cache_.probe(lpn) != nullptr;
 }
 
-PageData
-SsdController::snapshotPage(std::uint64_t lpn)
+void
+SsdController::snapshotPage(std::uint64_t lpn, PageData &out)
 {
-    PageData data;
     if (const CachedPage *page = cache_.probe(lpn))
-        data = page->data;
+        out = page->data;
     else
-        data = ftl_.pageData(lpn);
-    mergeLogInto(lpn, data);
-    return data;
+        out = ftl_.pageData(lpn);
+    mergeLogInto(lpn, out);
 }
 
 void
@@ -503,6 +573,10 @@ SsdController::dropMigratedPage(std::uint64_t lpn)
     cache_.invalidate(lpn);
     if (logEnabled())
         log_->invalidatePage(lpn);
+    // Invalidation must drop the hot-page counter too: the migrated
+    // page's count is latched at ~0u and would otherwise be a dead
+    // entry forever. Counters of merely-evicted pages survive by
+    // design (§III-C: popularity seen via misses still promotes).
     accessCounts_.erase(lpn);
 }
 
@@ -511,7 +585,9 @@ SsdController::warmFill(std::uint64_t lpn)
 {
     if (cache_.probe(lpn) != nullptr)
         return;
-    cache_.fill(lpn, ftl_.pageData(lpn));
+    PageEvict ev;
+    CachedPage *page = cache_.fill(lpn, ev);
+    page->data = ftl_.pageData(lpn);
 }
 
 LineValue

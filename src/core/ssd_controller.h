@@ -11,6 +11,16 @@
  * state-of-the-art CXL-SSD of [32],[62]: page-granular caching with
  * sequential prefetch, write-allocate read-modify-write on write misses,
  * and dirty-page writebacks on eviction.
+ *
+ * Request-path design: the steady state is allocation-free. In-flight
+ * fetches are slab records (common/slab.h) carrying intrusive FIFO
+ * chains of waiter records instead of per-fetch vectors; the fetch
+ * table and the hot-page access counters are open-addressing FlatMaps
+ * (common/flat_map.h); and completion callbacks are move-only
+ * InlineFunctions (common/inline_function.h) constructed in place in
+ * waiter records and event-queue slots, never cloned. Record addresses
+ * are slab-stable, so a fetch handle survives table rehashes (the old
+ * unordered_map port re-looked-up after every possible insert).
  */
 
 #ifndef SKYBYTE_CORE_SSD_CONTROLLER_H
@@ -20,11 +30,13 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.h"
 #include "common/event_queue.h"
+#include "common/flat_map.h"
+#include "common/inline_function.h"
+#include "common/slab.h"
 #include "common/stats.h"
 #include "cpu/mem_backend.h"
 #include "core/page_cache.h"
@@ -34,6 +46,12 @@
 #include "ssd/ftl.h"
 
 namespace skybyte {
+
+/**
+ * Page-read completion callback (page-granular host interface), fired
+ * with the delivery time and the merged page payload.
+ */
+using PageReadFn = InlineFunction<void(Tick, const PageData &), 32>;
 
 /** Controller statistics (feeds Figs 5/6, 16, 17, 18 and Table III). */
 struct SsdStats
@@ -74,6 +92,10 @@ class SsdController
 {
   public:
     SsdController(const SimConfig &cfg, EventQueue &eq, CxlLink &link);
+    ~SsdController();
+
+    SsdController(const SsdController &) = delete;
+    SsdController &operator=(const SsdController &) = delete;
 
     /**
      * CXL.mem MemRd for a device-relative line address, sent by the host
@@ -85,8 +107,7 @@ class SsdController
     void write(Addr dev_line_addr, LineValue value, Tick when);
 
     /** Page-granular host read (AstriFlash / migration copies). */
-    void readPageToHost(std::uint64_t lpn, Tick when,
-                        std::function<void(Tick, const PageData &)> cb);
+    void readPageToHost(std::uint64_t lpn, Tick when, PageReadFn cb);
 
     /** Page-granular host write (AstriFlash eviction / demotion). */
     void writePageFromHost(std::uint64_t lpn, const PageData &data,
@@ -96,7 +117,16 @@ class SsdController
     bool isPageCached(std::uint64_t lpn) const;
 
     /** Merged functional view of a page (cache/flash + log overlay). */
-    PageData snapshotPage(std::uint64_t lpn);
+    void snapshotPage(std::uint64_t lpn, PageData &out);
+
+    /** Convenience by-value form (tests). */
+    PageData
+    snapshotPage(std::uint64_t lpn)
+    {
+        PageData out;
+        snapshotPage(lpn, out);
+        return out;
+    }
 
     /** Migration completed: drop the page from SSD DRAM (§III-C). */
     void dropMigratedPage(std::uint64_t lpn);
@@ -130,50 +160,84 @@ class SsdController
     DramModel &dram() { return dram_; }
 
   private:
+    /** One line read waiting on an in-flight fetch (intrusive FIFO). */
     struct Waiter
     {
+        Waiter *next = nullptr;
         std::uint32_t lineOff = 0;
         Tick readyAt = 0; ///< time the request finished indexing
         MemCallback cb;
     };
 
+    /** One page read waiting on an in-flight fetch (intrusive FIFO). */
     struct PageWaiter
     {
+        PageWaiter *next = nullptr;
         Tick readyAt = 0;
-        std::function<void(Tick, const PageData &)> cb;
+        PageReadFn cb;
     };
 
+    /** Base-CSSD write-allocate line buffered until the page arrives. */
+    struct PendingWrite
+    {
+        PendingWrite *next = nullptr;
+        std::uint32_t off = 0;
+        LineValue value = 0;
+    };
+
+    /**
+     * One in-flight flash fetch. Slab-allocated; the three waiter
+     * FIFOs replay in arrival order on completion (the event-queue
+     * seq tie-break depends on it).
+     */
     struct PendingFetch
     {
         Tick expectedDone = 0;
         Tick startedAt = 0;
         bool prefetch = false;
-        std::vector<Waiter> waiters;
-        std::vector<PageWaiter> pageWaiters;
-        /** Base-CSSD write-allocate lines waiting for the page. */
-        std::vector<std::pair<std::uint32_t, LineValue>> pendingWrites;
+        IntrusiveFifo<Waiter> waiters;
+        IntrusiveFifo<PageWaiter> pageWaiters;
+        IntrusiveFifo<PendingWrite> pendingWrites;
     };
 
     bool logEnabled() const { return log_ != nullptr; }
     Tick indexLatency() const;
 
     /** Start (or join) the flash fetch of @p lpn at device time @p t. */
-    PendingFetch &startFetch(std::uint64_t lpn, Tick t, bool prefetch);
+    PendingFetch *startFetch(std::uint64_t lpn, Tick t, bool prefetch);
+
+    /** Append a line waiter to @p pf (FIFO). */
+    void addWaiter(PendingFetch &pf, std::uint32_t off, Tick ready_at,
+                   MemCallback cb);
+
+    /** Append a page waiter to @p pf (FIFO). */
+    void addPageWaiter(PendingFetch &pf, Tick ready_at, PageReadFn cb);
+
+    /** Append a buffered write-allocate line to @p pf (FIFO). */
+    void addPendingWrite(PendingFetch &pf, std::uint32_t off,
+                         LineValue value);
+
+    /** Destroy a fetch record and its chains (drops callbacks). */
+    void releaseFetch(PendingFetch *pf);
 
     void onPageArrived(std::uint64_t lpn, Tick done);
 
     /** Apply log overlay onto @p data for page @p lpn. */
     void mergeLogInto(std::uint64_t lpn, PageData &data);
 
-    /** Handle a page evicted from the data cache. */
-    void handleEviction(const PageEvict &ev, Tick when);
+    /**
+     * Handle a page evicted from the data cache. @p victim_data is the
+     * evicted payload when @p ev.dirty (nullptr otherwise).
+     */
+    void handleEviction(const PageEvict &ev, const PageData *victim_data,
+                        Tick when);
 
-    /** Respond with data to one line waiter. */
-    void respondLine(const Waiter &w, std::uint64_t lpn, Tick t_page,
+    /** Respond with data to one line waiter (consumes its callback). */
+    void respondLine(Waiter &w, std::uint64_t lpn, Tick t_page,
                      const PageData &data);
 
     /** Send the SkyByte-Delay NDR back to the host. */
-    void sendDelayHint(Tick t, const MemCallback &cb);
+    void sendDelayHint(Tick t, MemCallback cb);
 
     /** Count an access for hot-page tracking. */
     void touchForPromotion(std::uint64_t lpn, Tick now);
@@ -192,9 +256,17 @@ class SsdController
     Ftl ftl_;
     PageCache cache_;
     std::unique_ptr<WriteLog> log_;
-    std::unordered_map<std::uint64_t, PendingFetch> fetches_;
+
+    /** In-flight fetch index: lpn -> slab record (address-stable). */
+    FlatMap<PendingFetch *> fetches_;
+    Slab<PendingFetch> fetchSlab_;
+    Slab<Waiter> waiterSlab_;
+    Slab<PageWaiter> pageWaiterSlab_;
+    Slab<PendingWrite> pendingWriteSlab_;
+
     std::function<bool(std::uint64_t, Tick)> hotPageHook_;
-    std::unordered_map<std::uint64_t, std::uint32_t> accessCounts_;
+    /** Per-page access counters for §III-C hot-page detection. */
+    FlatMap<std::uint32_t> accessCounts_;
 
     /** Compaction state: per-channel pending page jobs. */
     std::vector<std::deque<std::uint64_t>> compactJobs_;

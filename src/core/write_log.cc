@@ -1,6 +1,7 @@
 #include "core/write_log.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace skybyte {
@@ -82,17 +83,17 @@ WriteLogBuffer::append(Addr line_addr, LineValue value)
     const std::uint32_t off = lineInPage(line_addr);
     const auto log_off = static_cast<std::uint32_t>(entries_.size());
     entries_.push_back({line_addr, value});
-    auto [it, inserted] = index_.try_emplace(
-        lpa, LogPageTable{initialEntries_, maxLoad_});
+    auto [table, inserted] =
+        index_.tryEmplace(lpa, initialEntries_, maxLoad_);
     // Incremental accounting: a new first-level entry costs 16 B plus
     // its fresh second-level table; put() may double the table.
     if (inserted)
         indexBytes_ += 16;
-    const std::uint32_t cap_before = inserted ? 0 : it->second.capacity();
-    const bool superseded = !inserted && it->second.get(off).has_value();
-    it->second.put(off, log_off);
+    const std::uint32_t cap_before = inserted ? 0 : table->capacity();
+    const bool superseded = !inserted && table->get(off).has_value();
+    table->put(off, log_off);
     indexBytes_ +=
-        static_cast<std::uint64_t>(it->second.capacity() - cap_before) * 4;
+        static_cast<std::uint64_t>(table->capacity() - cap_before) * 4;
     return superseded;
 }
 
@@ -105,25 +106,39 @@ WriteLogBuffer::lookup(Addr line_addr) const
 std::optional<LineValue>
 WriteLogBuffer::valueAt(std::uint64_t lpa, std::uint32_t line_off) const
 {
-    auto it = index_.find(lpa);
-    if (it == index_.end())
+    const LogPageTable *table = index_.find(lpa);
+    if (table == nullptr)
         return std::nullopt;
-    auto log_off = it->second.get(line_off);
+    auto log_off = table->get(line_off);
     if (!log_off)
         return std::nullopt;
     return entries_[*log_off].value;
 }
 
+std::uint64_t
+WriteLogBuffer::mergePageInto(std::uint64_t lpa, PageData &data) const
+{
+    const LogPageTable *table = index_.find(lpa);
+    if (table == nullptr)
+        return 0;
+    std::uint64_t mask = 0;
+    table->forEach([&](std::uint32_t off, std::uint32_t log_off) {
+        data[off] = entries_[log_off].value;
+        mask |= 1ULL << off;
+    });
+    return mask;
+}
+
 std::uint32_t
 WriteLogBuffer::invalidatePage(std::uint64_t lpa)
 {
-    auto it = index_.find(lpa);
-    if (it == index_.end())
+    const LogPageTable *table = index_.find(lpa);
+    if (table == nullptr)
         return 0;
-    const std::uint32_t dropped = it->second.count();
+    const std::uint32_t dropped = table->count();
     indexBytes_ -=
-        16 + static_cast<std::uint64_t>(it->second.capacity()) * 4;
-    index_.erase(it);
+        16 + static_cast<std::uint64_t>(table->capacity()) * 4;
+    index_.erase(lpa);
     return dropped;
 }
 
@@ -132,8 +147,9 @@ WriteLogBuffer::indexBytesRecomputed() const
 {
     // 16 B per first-level entry + 4 B per allocated second-level slot.
     std::uint64_t bytes = index_.size() * 16;
-    for (const auto &[lpa, table] : index_)
+    index_.forEach([&bytes](std::uint64_t, const LogPageTable &table) {
         bytes += static_cast<std::uint64_t>(table.capacity()) * 4;
+    });
     return bytes;
 }
 
@@ -176,6 +192,18 @@ WriteLog::lookup(Addr line_addr)
         }
     }
     return std::nullopt;
+}
+
+std::uint64_t
+WriteLog::mergePageInto(std::uint64_t lpa, PageData &data)
+{
+    std::uint64_t mask = 0;
+    if (drainInProgress_)
+        mask |= standby_.mergePageInto(lpa, data);
+    mask |= active_.mergePageInto(lpa, data); // newest wins
+    // Each distinct logged line would have been one lookup() hit.
+    stats_.lookupHits += static_cast<std::uint64_t>(std::popcount(mask));
+    return mask;
 }
 
 WriteLogBuffer &

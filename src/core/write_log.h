@@ -17,9 +17,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace skybyte {
@@ -124,19 +124,32 @@ class WriteLogBuffer
 
     /**
      * Visit each indexed page: fn(lpa, table). Used by compaction (L1
-     * traversal in Figure 13).
+     * traversal in Figure 13). Iteration is in the flat index's slot
+     * order — deterministic and platform-independent, but not sorted;
+     * order-sensitive consumers sort the keys they collect (see
+     * SsdController::maybeStartCompaction).
      */
     template <typename Fn>
     void
     forEachPage(Fn &&fn) const
     {
-        for (const auto &[lpa, table] : index_)
-            fn(lpa, table);
+        index_.forEach([&fn](std::uint64_t lpa, const LogPageTable &t) {
+            fn(lpa, t);
+        });
     }
 
     /** Latest value for @p line_off within @p lpa via the index. */
     std::optional<LineValue> valueAt(std::uint64_t lpa,
                                      std::uint32_t line_off) const;
+
+    /**
+     * Apply every logged line of @p lpa onto @p data in one index
+     * probe (the per-line valueAt loop cost 64 first-level lookups per
+     * page merge). Offsets are distinct, so application order within
+     * the table is immaterial.
+     * @return bitmask of the line offsets applied
+     */
+    std::uint64_t mergePageInto(std::uint64_t lpa, PageData &data) const;
 
     /**
      * Index memory per the paper's accounting (§III-B). Maintained
@@ -163,7 +176,8 @@ class WriteLogBuffer
     std::uint32_t initialEntries_;
     double maxLoad_;
     std::vector<Entry> entries_;
-    std::unordered_map<std::uint64_t, LogPageTable> index_;
+    /** First-level index: lpa -> second-level table (open addressing). */
+    FlatMap<LogPageTable> index_;
     std::uint64_t indexBytes_ = 0;
 };
 
@@ -215,6 +229,29 @@ class WriteLog
             return std::nullopt;
         return standby_.valueAt(lpa, line_off);
     }
+
+    /**
+     * Gather every draining-buffer line of @p lpa into @p out in one
+     * index probe (compaction's L1 traversal; no lookup stats, same as
+     * drainingValueAt). @return bitmask of offsets written; 0 when not
+     * draining.
+     */
+    std::uint64_t
+    gatherDraining(std::uint64_t lpa, PageData &out) const
+    {
+        if (!drainInProgress_)
+            return 0;
+        return standby_.mergePageInto(lpa, out);
+    }
+
+    /**
+     * Newest-first merged overlay of @p lpa onto @p data: draining
+     * lines first, then active lines over them, counting each distinct
+     * logged line as one lookup hit (matching the per-line lookup()
+     * accounting this replaces).
+     * @return bitmask of offsets applied
+     */
+    std::uint64_t mergePageInto(std::uint64_t lpa, PageData &data);
 
     const WriteLogStats &stats() const { return stats_; }
     const WriteLogBuffer &activeBuffer() const { return active_; }

@@ -12,8 +12,8 @@
 #define SKYBYTE_CPU_MEM_BACKEND_H
 
 #include <cstdint>
-#include <functional>
 
+#include "common/inline_function.h"
 #include "common/types.h"
 
 namespace skybyte {
@@ -45,7 +45,14 @@ struct MemResponse
     std::uint16_t tag = 0;
 };
 
-using MemCallback = std::function<void(const MemResponse &)>;
+/**
+ * Demand-read completion callback. Move-only with a 32-byte inline
+ * buffer: every callback on the miss path (the uncore's response
+ * dispatch, test harness captures) constructs inline, and handing the
+ * callback down the router -> SSD -> event-queue chain moves it
+ * instead of cloning a heap-backed std::function at each hop.
+ */
+using MemCallback = InlineFunction<void(const MemResponse &), 32>;
 
 /**
  * Anything that can serve LLC misses: the memory router in the full

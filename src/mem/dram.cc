@@ -87,8 +87,8 @@ DramModel::bankServiceAt(Tick when, std::uint32_t bytes, Addr addr)
     return data_start + xfer + bank_.controllerLatency;
 }
 
-void
-DramModel::read(const MemRequest &req, Tick when, MemCallback cb)
+Tick
+DramModel::readAt(const MemRequest &req, Tick when, MemCallback cb)
 {
     reads_++;
     const Tick done = serviceAt(when, kCachelineBytes, req.lineAddr);
@@ -96,7 +96,14 @@ DramModel::read(const MemRequest &req, Tick when, MemCallback cb)
     resp.kind = MemResponseKind::Data;
     resp.lineAddr = req.lineAddr;
     resp.value = peek(req.lineAddr);
-    eq_.schedule(done, [cb = std::move(cb), resp] { cb(resp); });
+    eq_.schedule(done, [cb = std::move(cb), resp]() mutable { cb(resp); });
+    return done;
+}
+
+void
+DramModel::read(const MemRequest &req, Tick when, MemCallback cb)
+{
+    readAt(req, when, std::move(cb));
 }
 
 void
@@ -110,8 +117,8 @@ DramModel::write(const MemRequest &req, Tick when)
 LineValue
 DramModel::peek(Addr line_addr) const
 {
-    auto it = store_.find(line_addr);
-    return it == store_.end() ? 0 : it->second;
+    const LineValue *v = store_.find(line_addr);
+    return v == nullptr ? 0 : *v;
 }
 
 void

@@ -13,11 +13,11 @@
 #define SKYBYTE_MEM_DRAM_H
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.h"
 #include "common/event_queue.h"
+#include "common/flat_map.h"
 #include "cpu/mem_backend.h"
 
 namespace skybyte {
@@ -50,6 +50,14 @@ class DramModel : public MemoryBackend
 
     /** MemoryBackend: asynchronous demand read with functional payload. */
     void read(const MemRequest &req, Tick when, MemCallback cb) override;
+
+    /**
+     * Like read(), but returns the completion tick (the time @p cb is
+     * scheduled at). The MemRouter uses this to account host-read
+     * latency at issue time instead of wrapping the callback — the
+     * wrap was the last per-request heap allocation on the host path.
+     */
+    Tick readAt(const MemRequest &req, Tick when, MemCallback cb);
 
     /** MemoryBackend: posted write; payload applied at completion time. */
     void write(const MemRequest &req, Tick when) override;
@@ -91,7 +99,8 @@ class DramModel : public MemoryBackend
     DramBankTiming bank_;
     std::vector<Tick> channelFree_;
     std::vector<Bank> banks_; ///< channels x banksPerChannel
-    std::unordered_map<Addr, LineValue> store_;
+    /** Sparse functional payload store, probed once per DRAM access. */
+    FlatMap<LineValue> store_;
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;
     std::uint64_t bytes_ = 0;

@@ -83,6 +83,26 @@ SweepReport parseSweepReport(const std::string &text);
  */
 SweepReport mergeSweepReports(const std::vector<SweepReport> &shards);
 
+/**
+ * Tolerance-based comparison of two sweep reports (the regression gate
+ * that replaces byte-exact diffs, which a runner libm/toolchain update
+ * can break through low-order float digits).
+ *
+ * Matched point entries are compared token-by-token: non-numeric text
+ * (keys, ids, structure) must match exactly; every numeric value —
+ * scalars and CDF points alike — may differ by at most @p tol_pct
+ * percent relative difference (0 = numerically equal, which still
+ * tolerates formatting differences like 1e3 vs 1000).
+ *
+ * @return human-readable drift descriptions, empty when the reports
+ *         agree within tolerance
+ * @throws std::runtime_error when the reports are structurally
+ *         incomparable (different sweep, point count, or entry layout)
+ */
+std::vector<std::string> diffSweepReports(const SweepReport &a,
+                                          const SweepReport &b,
+                                          double tol_pct);
+
 } // namespace skybyte
 
 #endif // SKYBYTE_SIM_REPORT_H

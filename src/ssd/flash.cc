@@ -45,8 +45,7 @@ FlashChannel::earliestDieFree() const
 }
 
 void
-FlashChannel::enqueue(FlashOpKind kind, Tick when,
-                      std::function<void(Tick)> on_done)
+FlashChannel::enqueue(FlashOpKind kind, Tick when, FlashDoneFn on_done)
 {
     const std::size_t die = pickDie();
     Tick done = when;
@@ -84,7 +83,7 @@ FlashChannel::enqueue(FlashOpKind kind, Tick when,
         break;
       }
     }
-    eq_.schedule(done, [this, kind, done, cb = std::move(on_done)] {
+    eq_.schedule(done, [this, kind, done, cb = std::move(on_done)]() mutable {
         switch (kind) {
           case FlashOpKind::Read:
             pendingReads_--;

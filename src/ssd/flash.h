@@ -11,16 +11,25 @@
 #define SKYBYTE_SSD_FLASH_H
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/config.h"
 #include "common/event_queue.h"
+#include "common/inline_function.h"
 
 namespace skybyte {
 
 /** NAND operation classes. */
 enum class FlashOpKind { Read, Program, Erase };
+
+/**
+ * Flash-operation completion callback, fired with the completion time.
+ * Move-only with a 32-byte inline buffer: the demand-read chain
+ * ([controller, lpn] captures) constructs inline; the wider GC /
+ * compaction continuations fall back to one heap cell, which is fine —
+ * they are amortized over whole-block operations.
+ */
+using FlashDoneFn = InlineFunction<void(Tick), 32>;
 
 /**
  * One NAND channel: a shared channel bus (serial; carries 4 KB page
@@ -40,8 +49,7 @@ class FlashChannel
      * Enqueue an operation at time @p when; @p on_done fires at its
      * completion time.
      */
-    void enqueue(FlashOpKind kind, Tick when,
-                 std::function<void(Tick)> on_done);
+    void enqueue(FlashOpKind kind, Tick when, FlashDoneFn on_done);
 
     /**
      * Algorithm 1: estimated latency a read arriving at @p now would

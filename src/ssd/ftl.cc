@@ -103,17 +103,17 @@ Ftl::ensureOpenBlock(Channel &ch)
 void
 Ftl::invalidate(std::uint64_t lpn)
 {
-    auto it = mapping_.find(lpn);
-    if (it == mapping_.end() || !it->second.valid)
+    Ppa *ppa = mapping_.find(lpn);
+    if (ppa == nullptr || !ppa->valid)
         return;
     Channel &ch = channels_[channelIdx(lpn)];
-    Block &blk = ch.blocks[it->second.block];
-    if (blk.slotLpn[it->second.slot] == lpn) {
-        blk.slotLpn[it->second.slot] = kInvalidLpn;
+    Block &blk = ch.blocks[ppa->block];
+    if (blk.slotLpn[ppa->slot] == lpn) {
+        blk.slotLpn[ppa->slot] = kInvalidLpn;
         if (blk.validCount > 0)
             blk.validCount--;
     }
-    it->second.valid = false;
+    ppa->valid = false;
 }
 
 void
@@ -129,11 +129,11 @@ Ftl::mapToOpenBlock(Channel &ch, std::uint64_t lpn)
 }
 
 void
-Ftl::readPage(std::uint64_t lpn, Tick when, std::function<void(Tick)> cb)
+Ftl::readPage(std::uint64_t lpn, Tick when, FlashDoneFn cb)
 {
     Channel &ch = channels_[channelIdx(lpn)];
-    auto it = mapping_.find(lpn);
-    if (it == mapping_.end() || !it->second.valid) {
+    const Ppa *ppa = mapping_.find(lpn);
+    if (ppa == nullptr || !ppa->valid) {
         // First touch of a never-written page: map it in place
         // (the paper's simulator warms all data into the SSD first).
         invalidate(lpn);
@@ -145,7 +145,7 @@ Ftl::readPage(std::uint64_t lpn, Tick when, std::function<void(Tick)> cb)
 
 void
 Ftl::writePage(std::uint64_t lpn, Tick when, const PageData &data,
-               std::function<void(Tick)> cb)
+               FlashDoneFn cb)
 {
     Channel &ch = channels_[channelIdx(lpn)];
     invalidate(lpn);
@@ -154,7 +154,7 @@ Ftl::writePage(std::uint64_t lpn, Tick when, const PageData &data,
     stats_.hostPrograms++;
     const std::uint32_t ch_idx = channelIdx(lpn);
     ch.flash->enqueue(FlashOpKind::Program, when,
-                      [this, ch_idx, cb = std::move(cb)](Tick done) {
+                      [this, ch_idx, cb = std::move(cb)](Tick done) mutable {
                           if (cb)
                               cb(done);
                           maybeStartGc(ch_idx, done);
@@ -342,10 +342,10 @@ LineValue
 Ftl::peekLine(Addr line_addr)
 {
     const std::uint64_t lpn = pageNumber(line_addr);
-    auto it = data_.find(lpn);
-    if (it == data_.end())
+    const auto *slot = data_.find(lpn);
+    if (slot == nullptr)
         return 0;
-    return (*it->second)[lineInPage(line_addr)];
+    return (**slot)[lineInPage(line_addr)];
 }
 
 } // namespace skybyte

@@ -12,20 +12,16 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.h"
 #include "common/event_queue.h"
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "ssd/flash.h"
 
 namespace skybyte {
-
-/** Functional contents of one 4 KB flash page (64 line payloads). */
-using PageData = std::array<LineValue, kLinesPerPage>;
 
 /** FTL-level statistics. */
 struct FtlStats
@@ -51,15 +47,14 @@ class Ftl
      * completion time. The page must be mapped (reads of never-written
      * pages are mapped on demand to a fresh location).
      */
-    void readPage(std::uint64_t lpn, Tick when,
-                  std::function<void(Tick)> cb);
+    void readPage(std::uint64_t lpn, Tick when, FlashDoneFn cb);
 
     /**
      * Program logical page @p lpn (out-of-place) at @p when with new
      * contents @p data; @p cb fires at completion. May trigger GC.
      */
     void writePage(std::uint64_t lpn, Tick when, const PageData &data,
-                   std::function<void(Tick)> cb);
+                   FlashDoneFn cb);
 
     /** Algorithm 1 delay estimate for a read of @p lpn arriving now. */
     Tick estimateReadDelay(std::uint64_t lpn, Tick now) const;
@@ -173,8 +168,13 @@ class Ftl
         std::uint32_t slot = 0;
         bool valid = false;
     };
-    std::unordered_map<std::uint64_t, Ppa> mapping_;
-    std::unordered_map<std::uint64_t, std::unique_ptr<PageData>> data_;
+    /**
+     * Hot indices, probed per flash op / per functional page access.
+     * data_ holds unique_ptrs so PageData addresses survive rehashes
+     * (pageData() hands out references).
+     */
+    FlatMap<Ppa> mapping_;
+    FlatMap<std::unique_ptr<PageData>> data_;
     FtlStats stats_;
 };
 

@@ -31,13 +31,15 @@ class ScriptedBackend : public MemoryBackend
             MemResponse resp;
             resp.kind = MemResponseKind::DelayHint;
             resp.lineAddr = req.lineAddr;
-            eq_.schedule(when + hintLatency, [cb, resp] { cb(resp); });
+            eq_.schedule(when + hintLatency,
+                         [cb = std::move(cb), resp]() mutable { cb(resp); });
             return;
         }
         MemResponse resp;
         resp.kind = MemResponseKind::Data;
         resp.lineAddr = req.lineAddr;
-        eq_.schedule(when + dataLatency, [cb, resp] { cb(resp); });
+        eq_.schedule(when + dataLatency,
+                     [cb = std::move(cb), resp]() mutable { cb(resp); });
     }
 
     void

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Tests for the allocation-free request-path infrastructure:
+ *
+ *  - FlatMap property test against a std::unordered_map oracle
+ *    (random insert/erase/find/operator[] sequences across rehashes,
+ *    plus iteration-sum and backward-shift-erase invariants)
+ *  - InlineFunction semantics: inline vs heap-fallback targets, move
+ *    transfer, null states, and destruction counts
+ *  - Slab recycling: construct/destroy pairing and address stability
+ *  - Request-path fingerprint pinning: full-system SimResult JSON must
+ *    stay bit-identical to the checked-in references for SkyByte-Full,
+ *    Base-CSSD, and DRAM-Only across three workload specs. Regenerate
+ *    after an intentional behavior change with
+ *      SKYBYTE_REGEN_FINGERPRINTS=1 ./test_request_path
+ *    and commit the files under tests/data/request_path/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "common/flat_map.h"
+#include "common/inline_function.h"
+#include "common/slab.h"
+#include "sim/report.h"
+#include "sim/system.h"
+
+namespace skybyte {
+namespace {
+
+// --------------------------------------------------------------- FlatMap
+
+TEST(FlatMap, MatchesUnorderedMapOracle)
+{
+    FlatMap<std::uint64_t> map;
+    std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+    std::mt19937_64 rng(0xf1a7f1a7ULL);
+
+    for (int step = 0; step < 200'000; ++step) {
+        // Small key space so erases collide with probe chains often.
+        const std::uint64_t key = rng() % 701;
+        switch (rng() % 4) {
+          case 0: { // operator[] insert-or-update
+            const std::uint64_t v = rng();
+            map[key] = v;
+            oracle[key] = v;
+            break;
+          }
+          case 1: { // tryEmplace (no overwrite)
+            map.tryEmplace(key, step);
+            oracle.try_emplace(key, step);
+            break;
+          }
+          case 2: { // erase
+            EXPECT_EQ(map.erase(key), oracle.erase(key) > 0);
+            break;
+          }
+          default: { // find
+            const std::uint64_t *v = map.find(key);
+            auto it = oracle.find(key);
+            ASSERT_EQ(v != nullptr, it != oracle.end());
+            if (v != nullptr)
+                EXPECT_EQ(*v, it->second);
+          }
+        }
+        ASSERT_EQ(map.size(), oracle.size());
+    }
+
+    // Iteration visits every element exactly once.
+    std::uint64_t key_sum = 0, val_sum = 0;
+    map.forEach([&](std::uint64_t k, std::uint64_t &v) {
+        key_sum += k;
+        val_sum += v;
+    });
+    std::uint64_t okey_sum = 0, oval_sum = 0;
+    for (const auto &[k, v] : oracle) {
+        okey_sum += k;
+        oval_sum += v;
+    }
+    EXPECT_EQ(key_sum, okey_sum);
+    EXPECT_EQ(val_sum, oval_sum);
+}
+
+TEST(FlatMap, EraseKeepsProbeChainsReachable)
+{
+    // Adversarial backward-shift case: many keys in one probe cluster,
+    // erased from the middle; every survivor must stay findable.
+    FlatMap<int> map;
+    for (std::uint64_t k = 0; k < 500; ++k)
+        map[k] = static_cast<int>(k);
+    for (std::uint64_t k = 0; k < 500; k += 3)
+        EXPECT_TRUE(map.erase(k));
+    for (std::uint64_t k = 0; k < 500; ++k) {
+        const int *v = map.find(k);
+        if (k % 3 == 0) {
+            EXPECT_EQ(v, nullptr) << k;
+        } else {
+            ASSERT_NE(v, nullptr) << k;
+            EXPECT_EQ(*v, static_cast<int>(k));
+        }
+    }
+}
+
+TEST(FlatMap, NonTrivialValuesSurviveRehashAndMove)
+{
+    FlatMap<std::unique_ptr<std::string>> map;
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        map[k] = std::make_unique<std::string>(std::to_string(k));
+    FlatMap<std::unique_ptr<std::string>> moved = std::move(map);
+    EXPECT_EQ(moved.size(), 1000u);
+    EXPECT_EQ(map.size(), 0u);
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        auto *v = moved.find(k);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(**v, std::to_string(k));
+    }
+    moved.clear();
+    EXPECT_EQ(moved.size(), 0u);
+    EXPECT_EQ(moved.find(1), nullptr);
+}
+
+// -------------------------------------------------------- InlineFunction
+
+struct DtorCounter
+{
+    int *count;
+    explicit DtorCounter(int *c) : count(c) {}
+    DtorCounter(DtorCounter &&other) noexcept : count(other.count)
+    {
+        other.count = nullptr;
+    }
+    ~DtorCounter()
+    {
+        if (count != nullptr)
+            ++*count;
+    }
+};
+
+TEST(InlineFunction, InlineTargetInvokesAndDestructsOnce)
+{
+    int destroyed = 0;
+    {
+        InlineFunction<int(int), 48> fn(
+            [d = DtorCounter(&destroyed)](int x) { return x + 1; });
+        EXPECT_TRUE(static_cast<bool>(fn));
+        EXPECT_EQ(fn(41), 42);
+    }
+    EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFunction, OversizedTargetFallsBackToHeap)
+{
+    int destroyed = 0;
+    {
+        // 64-byte payload exceeds the 16-byte buffer: heap cell.
+        std::array<std::uint64_t, 8> payload{};
+        payload[7] = 7;
+        InlineFunction<std::uint64_t(), 16> fn(
+            [payload, d = DtorCounter(&destroyed)] {
+                return payload[7];
+            });
+        EXPECT_EQ(fn(), 7u);
+
+        // Moving transfers heap ownership; source becomes null.
+        InlineFunction<std::uint64_t(), 16> moved = std::move(fn);
+        EXPECT_FALSE(static_cast<bool>(fn));
+        EXPECT_EQ(moved(), 7u);
+        EXPECT_EQ(destroyed, 0); // pointer handoff, no dtor run
+    }
+    EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFunction, MoveAssignDestroysPreviousTarget)
+{
+    int first = 0, second = 0;
+    InlineFunction<void(), 48> fn([d = DtorCounter(&first)] {});
+    fn = InlineFunction<void(), 48>([d = DtorCounter(&second)] {});
+    EXPECT_EQ(first, 1);
+    EXPECT_EQ(second, 0);
+    fn = nullptr;
+    EXPECT_EQ(second, 1);
+    EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+// ------------------------------------------------------------------ Slab
+
+TEST(Slab, RecyclesStorageAndPairsDestructors)
+{
+    struct Rec
+    {
+        int *live;
+        explicit Rec(int *l) : live(l) { ++*live; }
+        ~Rec() { --*live; }
+    };
+    int live = 0;
+    Slab<Rec> slab(4); // tiny chunks: force multiple refills
+    std::vector<Rec *> recs;
+    for (int i = 0; i < 64; ++i)
+        recs.push_back(slab.alloc(&live));
+    EXPECT_EQ(live, 64);
+    Rec *recycled = recs.back();
+    slab.release(recycled);
+    EXPECT_EQ(live, 63);
+    // LIFO free list: the very next alloc reuses the released node.
+    EXPECT_EQ(slab.alloc(&live), recycled);
+    EXPECT_EQ(live, 64);
+    for (Rec *r : recs)
+        slab.release(r);
+    EXPECT_EQ(live, 0);
+}
+
+// ------------------------------------------- request-path fingerprints
+
+struct FingerprintCase
+{
+    const char *variant;
+    const char *workload;
+};
+
+constexpr FingerprintCase kCases[] = {
+    {"SkyByte-Full", "zipf:footprint=4M,instr=60000,threads=2"},
+    {"SkyByte-Full", "scan:footprint=4M,instr=60000,threads=2"},
+    {"SkyByte-Full", "ptrchase:footprint=2M,instr=40000,threads=2"},
+    {"Base-CSSD", "zipf:footprint=4M,instr=60000,threads=2"},
+    {"Base-CSSD", "scan:footprint=4M,instr=60000,threads=2"},
+    {"Base-CSSD", "ptrchase:footprint=2M,instr=40000,threads=2"},
+    {"DRAM-Only", "zipf:footprint=4M,instr=60000,threads=2"},
+    {"DRAM-Only", "scan:footprint=4M,instr=60000,threads=2"},
+    {"DRAM-Only", "ptrchase:footprint=2M,instr=40000,threads=2"},
+};
+
+std::string
+fingerprintPath(const FingerprintCase &c)
+{
+    std::string wl(c.workload);
+    const auto colon = wl.find(':');
+    if (colon != std::string::npos)
+        wl = wl.substr(0, colon);
+    return std::string("tests/data/request_path/") + c.variant + "."
+           + wl + ".json";
+}
+
+/**
+ * Tests run from build/ (or deeper); anchor the source tree by a file
+ * that always exists so regen can create missing references.
+ */
+std::string
+dataPath(const std::string &rel)
+{
+    for (const char *prefix : {"", "../", "../../"}) {
+        std::ifstream anchor(std::string(prefix)
+                             + "tests/data/scenarios.reference.json");
+        if (anchor)
+            return prefix + rel;
+    }
+    return rel;
+}
+
+TEST(RequestPathFingerprint, SimResultsMatchCheckedInReferences)
+{
+    const bool regen =
+        std::getenv("SKYBYTE_REGEN_FINGERPRINTS") != nullptr;
+    for (const FingerprintCase &c : kCases) {
+        SimConfig cfg = makeConfig(c.variant);
+        const SimResult res =
+            runSimulation(cfg, c.workload, WorkloadParams{});
+        const std::string json = toJson(res);
+        const std::string path = dataPath(fingerprintPath(c));
+        if (regen) {
+            std::ofstream out(path);
+            ASSERT_TRUE(static_cast<bool>(out)) << path;
+            out << json;
+            continue;
+        }
+        std::ifstream in(path);
+        ASSERT_TRUE(static_cast<bool>(in))
+            << "missing reference " << path
+            << " (run with SKYBYTE_REGEN_FINGERPRINTS=1 to create)";
+        std::ostringstream ref;
+        ref << in.rdbuf();
+        EXPECT_EQ(json, ref.str())
+            << c.variant << " / " << c.workload
+            << ": request-path refactor broke bit-identity";
+    }
+}
+
+} // namespace
+} // namespace skybyte

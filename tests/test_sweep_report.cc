@@ -116,6 +116,63 @@ TEST(SweepReport, MergeRejectsIncompleteAndMismatchedShards)
     EXPECT_THROW(mergeSweepReports({}), std::runtime_error);
 }
 
+TEST(SweepReport, DiffAcceptsIdenticalAndToleratedDrift)
+{
+    const SweepSpec *spec = findSweep("smoke");
+    ASSERT_NE(spec, nullptr);
+    ExperimentOptions opt;
+    opt.instrPerThread = 1'000;
+    const SweepReport a = reportFor(*spec, opt, {0, 1});
+
+    // Identical reports agree at zero tolerance.
+    EXPECT_TRUE(diffSweepReports(a, a, 0.0).empty());
+
+    // Perturb one metric by ~0.05%: caught at 0.01%, passed at 1%.
+    SweepReport drifted = a;
+    const std::string key = "\"committed_instructions\": ";
+    auto pos = drifted.entries[0].text.find(key);
+    ASSERT_NE(pos, std::string::npos);
+    pos += key.size();
+    const auto end = drifted.entries[0].text.find_first_of(",\n", pos);
+    const std::uint64_t value =
+        std::stoull(drifted.entries[0].text.substr(pos, end - pos));
+    const std::uint64_t bumped = value + value / 2000 + 1;
+    drifted.entries[0].text.replace(pos, end - pos,
+                                    std::to_string(bumped));
+    const auto drifts = diffSweepReports(a, drifted, 0.01);
+    ASSERT_EQ(drifts.size(), 1u);
+    EXPECT_NE(drifts[0].find("committed_instructions"),
+              std::string::npos);
+    EXPECT_TRUE(diffSweepReports(a, drifted, 1.0).empty());
+}
+
+TEST(SweepReport, DiffRejectsStructuralMismatch)
+{
+    const SweepSpec *spec = findSweep("smoke");
+    ASSERT_NE(spec, nullptr);
+    ExperimentOptions opt;
+    opt.instrPerThread = 1'000;
+    const SweepReport a = reportFor(*spec, opt, {0, 1});
+
+    // Different sweep name.
+    SweepReport renamed = a;
+    renamed.sweep = "fig09";
+    EXPECT_THROW(diffSweepReports(a, renamed, 1.0), std::runtime_error);
+
+    // A renamed metric key is structural, not numeric drift.
+    SweepReport rekeyed = a;
+    auto pos = rekeyed.entries[0].text.find("\"ssd_writes\"");
+    ASSERT_NE(pos, std::string::npos);
+    rekeyed.entries[0].text.replace(pos, 12, "\"ssd_writez\"");
+    EXPECT_THROW(diffSweepReports(a, rekeyed, 100.0),
+                 std::runtime_error);
+
+    // Fewer points is incomparable.
+    SweepReport shorter = a;
+    shorter.entries.pop_back();
+    EXPECT_THROW(diffSweepReports(a, shorter, 1.0), std::runtime_error);
+}
+
 TEST(SweepReport, ParseRejectsGarbage)
 {
     EXPECT_THROW(parseSweepReport("not json"), std::runtime_error);

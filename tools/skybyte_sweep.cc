@@ -13,6 +13,12 @@
  *   skybyte_sweep --merge a.json b.json... [-o out.json]
  *       Recombine shard reports; the output is byte-identical to an
  *       unsharded run of the same sweep.
+ *   skybyte_sweep --diff a.json b.json [--tol pct]
+ *       Compare two reports of the same sweep: structure and ids must
+ *       match exactly, numeric metrics may drift up to --tol percent
+ *       (default 0 = numerically equal). Prints each drift and exits 4
+ *       when any exceeds tolerance — the regression gate CI uses in
+ *       place of byte-exact diffs, which runner libm updates can break.
  *
  * Scale knobs are the bench ones (SKYBYTE_BENCH_INSTR/THREADS/
  * FOOTPRINT_MB, SKYBYTE_BENCH_NTHREADS); SKYBYTE_SWEEP_SHARD is the
@@ -44,7 +50,8 @@ usage()
         "       skybyte_sweep --points <name>\n"
         "       skybyte_sweep --run <name> [--shard i/N] [-o out.json]"
         " [-j nthreads]\n"
-        "       skybyte_sweep --merge a.json b.json... [-o out.json]\n");
+        "       skybyte_sweep --merge a.json b.json... [-o out.json]\n"
+        "       skybyte_sweep --diff a.json b.json [--tol pct]\n");
 }
 
 int
@@ -137,24 +144,56 @@ runSweepCmd(const std::string &name, const std::string &shard_arg,
     return timed_out ? 3 : 0;
 }
 
+SweepReport
+readReportFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open report: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseSweepReport(buf.str());
+}
+
 int
 mergeCmd(const std::vector<std::string> &paths, std::string out_path)
 {
     std::vector<SweepReport> shards;
     shards.reserve(paths.size());
-    for (const std::string &path : paths) {
-        std::ifstream in(path);
-        if (!in)
-            throw std::runtime_error("cannot open report: " + path);
-        std::ostringstream buf;
-        buf << in.rdbuf();
-        shards.push_back(parseSweepReport(buf.str()));
-    }
+    for (const std::string &path : paths)
+        shards.push_back(readReportFile(path));
     const SweepReport merged = mergeSweepReports(shards);
     if (out_path.empty())
         out_path = merged.sweep + ".json";
     writeReport(merged, out_path);
     return 0;
+}
+
+int
+diffCmd(const std::vector<std::string> &paths, double tol_pct)
+{
+    if (paths.size() != 2)
+        throw std::invalid_argument("--diff needs exactly two reports");
+    const SweepReport a = readReportFile(paths[0]);
+    const SweepReport b = readReportFile(paths[1]);
+    const std::vector<std::string> drifts =
+        diffSweepReports(a, b, tol_pct);
+    if (drifts.empty()) {
+        std::fprintf(stderr,
+                     "%s: %zu points agree within %g%% tolerance\n",
+                     a.sweep.c_str(), a.entries.size(), tol_pct);
+        return 0;
+    }
+    constexpr std::size_t kMaxShown = 50;
+    for (std::size_t i = 0; i < drifts.size() && i < kMaxShown; ++i)
+        std::fprintf(stderr, "%s\n", drifts[i].c_str());
+    if (drifts.size() > kMaxShown) {
+        std::fprintf(stderr, "... and %zu more\n",
+                     drifts.size() - kMaxShown);
+    }
+    std::fprintf(stderr, "%s: %zu metric(s) drifted beyond %g%%\n",
+                 a.sweep.c_str(), drifts.size(), tol_pct);
+    return 4;
 }
 
 } // namespace
@@ -168,6 +207,7 @@ main(int argc, char **argv)
     std::string out_path;
     std::vector<std::string> merge_paths;
     int nthreads = 0;
+    double tol_pct = 0.0;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -188,6 +228,10 @@ main(int argc, char **argv)
                 name = next();
             } else if (arg == "--merge") {
                 mode = "merge";
+            } else if (arg == "--diff") {
+                mode = "diff";
+            } else if (arg == "--tol") {
+                tol_pct = std::stod(next());
             } else if (arg == "--shard") {
                 shard_arg = next();
             } else if (arg == "-o" || arg == "--output") {
@@ -197,8 +241,8 @@ main(int argc, char **argv)
             } else if (arg == "-h" || arg == "--help") {
                 usage();
                 return 0;
-            } else if (mode == "merge" && !arg.empty()
-                       && arg[0] != '-') {
+            } else if ((mode == "merge" || mode == "diff")
+                       && !arg.empty() && arg[0] != '-') {
                 merge_paths.push_back(arg);
             } else {
                 throw std::invalid_argument("unknown option: " + arg);
@@ -206,7 +250,7 @@ main(int argc, char **argv)
         }
         if (mode.empty())
             throw std::invalid_argument("pick one of --list/--points/"
-                                        "--run/--merge");
+                                        "--run/--merge/--diff");
 
         if (mode == "list")
             return listSweeps();
@@ -214,6 +258,8 @@ main(int argc, char **argv)
             return listPoints(name);
         if (mode == "run")
             return runSweepCmd(name, shard_arg, out_path, nthreads);
+        if (mode == "diff")
+            return diffCmd(merge_paths, tol_pct);
         if (merge_paths.empty())
             throw std::invalid_argument("--merge needs report files");
         return mergeCmd(merge_paths, out_path);
