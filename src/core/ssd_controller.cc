@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <stdexcept>
 
 #include "cxl/ndr.h"
 
@@ -70,6 +71,35 @@ SsdController::addPendingWrite(PendingFetch &pf, std::uint32_t off,
     wr->off = off;
     wr->value = value;
     pf.pendingWrites.append(wr);
+}
+
+void
+SsdController::setTenantBounds(std::vector<Addr> starts, Addr end_bytes)
+{
+    if (!starts.empty()
+        && (starts.front() != 0
+            || !std::is_sorted(starts.begin(), starts.end())
+            || starts.back() >= end_bytes)) {
+        throw std::invalid_argument(
+            "tenant bounds must start at 0, ascend, and end before "
+            "end_bytes");
+    }
+    tenantStarts_ = std::move(starts);
+    tenantEnd_ = end_bytes;
+    tenantStats_.assign(tenantStarts_.size(), SsdTenantCounters{});
+}
+
+SsdTenantCounters *
+SsdController::tenantFor(Addr dev)
+{
+    // Addresses past the last tenant's region (a sequential prefetch
+    // running off the end of the mix footprint) belong to nobody.
+    if (tenantStarts_.empty() || dev >= tenantEnd_)
+        return nullptr;
+    std::size_t t = tenantStarts_.size() - 1;
+    while (t > 0 && dev < tenantStarts_[t])
+        t--;
+    return &tenantStats_[t];
 }
 
 Tick
@@ -160,15 +190,21 @@ SsdController::read(Addr dev_line_addr, Tick when, MemCallback cb)
         log_val = log_->lookup(dev_line_addr);
     CachedPage *page = cache_.lookup(lpn);
 
+    SsdTenantCounters *tenant = tenantFor(dev_line_addr);
+
     if (page != nullptr || log_val.has_value()) {
         LineValue value;
         if (page != nullptr) {
             page->touchedMask |= 1ULL << off;
             value = log_val.value_or(page->data[off]);
             stats_.readHitsCache++;
+            if (tenant != nullptr)
+                tenant->readHitsCache++;
         } else {
             value = *log_val;
             stats_.readHitsLog++;
+            if (tenant != nullptr)
+                tenant->readHitsLog++;
         }
         const Tick t_data =
             dram_.serviceAt(t_idx, kCachelineBytes, dev_line_addr);
@@ -189,6 +225,8 @@ SsdController::read(Addr dev_line_addr, Tick when, MemCallback cb)
 
     // R3: flash fetch needed.
     stats_.readMisses++;
+    if (tenant != nullptr)
+        tenant->readMisses++;
     if (PendingFetch **slot = fetches_.find(lpn)) {
         PendingFetch *pf = *slot;
         const Tick remaining =
@@ -306,6 +344,11 @@ SsdController::onPageArrived(std::uint64_t lpn, Tick done)
     fetches_.erase(lpn);
 
     stats_.flashReadLatency.record(done - pf->startedAt);
+    if (SsdTenantCounters *tenant = tenantFor(lpn * kPageBytes)) {
+        tenant->flashPageReads++;
+        tenant->flashReadTicks +=
+            static_cast<double>(done - pf->startedAt);
+    }
 
     // Install into the data cache (a 4 KB SSD DRAM write). The payload
     // is written directly into the claimed slot: no transient PageData.
@@ -362,12 +405,17 @@ SsdController::write(Addr dev_line_addr, LineValue value, Tick when)
     const Tick t_arr = link_.deliverToDevice(when, kCachelineBytes);
     const Tick t_idx = t_arr + indexLatency();
     stats_.writes++;
+    SsdTenantCounters *tenant = tenantFor(dev_line_addr);
+    if (tenant != nullptr)
+        tenant->writes++;
     touchForPromotion(lpn, t_arr);
 
     if (logEnabled()) {
         // W1: append to the log; W2: parallel update of a cached copy;
         // W3: index update (inside append).
         log_->append(dev_line_addr, value);
+        if (tenant != nullptr)
+            tenant->logAppends++;
         dram_.serviceAt(t_idx, kCachelineBytes, dev_line_addr);
         if (CachedPage *page = cache_.lookup(lpn)) {
             page->data[off] = value;

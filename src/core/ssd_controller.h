@@ -86,6 +86,27 @@ struct SsdStats
 };
 
 /**
+ * Per-tenant device-side counters for co-located (mix:) workloads.
+ * Tenants own disjoint, contiguous device-address regions, so every
+ * line request classifies to exactly one tenant and the buckets
+ * partition the aggregate SsdStats counts — the invariant
+ * tests/test_system.cc pins. Pure accounting: enabling tenants never
+ * changes simulated behaviour.
+ */
+struct SsdTenantCounters
+{
+    std::uint64_t readHitsLog = 0;
+    std::uint64_t readHitsCache = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t logAppends = 0;
+    /** Flash page arrivals for this tenant's pages (incl. prefetch). */
+    std::uint64_t flashPageReads = 0;
+    /** Summed flash read latency of those arrivals (ticks). */
+    double flashReadTicks = 0;
+};
+
+/**
  * The memory-semantic SSD device.
  */
 class SsdController
@@ -158,6 +179,22 @@ class SsdController
     WriteLog *writeLog() { return log_.get(); }
     const SsdStats &stats() const { return stats_; }
     DramModel &dram() { return dram_; }
+
+    /**
+     * Enable per-tenant counters. @p starts holds each tenant's first
+     * device-byte offset in ascending order (starts[0] == 0); tenant i
+     * owns [starts[i], starts[i+1]), the last up to @p end_bytes.
+     * Addresses at or past @p end_bytes belong to no tenant (e.g.
+     * sequential prefetches running off the end of the mix footprint).
+     * Empty @p starts (the default) disables the accounting entirely.
+     */
+    void setTenantBounds(std::vector<Addr> starts, Addr end_bytes);
+
+    /** Per-tenant buckets, aligned with the setTenantBounds order. */
+    const std::vector<SsdTenantCounters> &tenantCounters() const
+    {
+        return tenantStats_;
+    }
 
   private:
     /** One line read waiting on an in-flight fetch (intrusive FIFO). */
@@ -249,6 +286,13 @@ class SsdController
     void issueCompactionJob(std::uint32_t ch, Tick when);
     void compactionJobDone(std::uint32_t ch, Tick done);
 
+    /**
+     * Tenant bucket for device byte offset @p dev, or nullptr when
+     * tenant accounting is disabled. Linear scan: mixes hold a handful
+     * of tenants.
+     */
+    SsdTenantCounters *tenantFor(Addr dev);
+
     const SimConfig &cfg_;
     EventQueue &eq_;
     CxlLink &link_;
@@ -275,6 +319,11 @@ class SsdController
     bool compacting_ = false;
 
     SsdStats stats_;
+
+    /** Per-tenant accounting (empty = disabled; see setTenantBounds). */
+    std::vector<Addr> tenantStarts_;
+    Addr tenantEnd_ = 0;
+    std::vector<SsdTenantCounters> tenantStats_;
 
     /** Request/response header payload sizes on the link (bytes). */
     static constexpr std::uint32_t kHeaderBytes = 16;

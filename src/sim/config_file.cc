@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "trace/mix_workload.h"
+
 namespace skybyte {
 
 namespace {
@@ -203,8 +205,13 @@ applyAssignment(const std::string &assignment, ExperimentSpec &spec)
         // Resolve the name and typecheck the args now (construction is
         // cheap and generates no records), so a typo fails with its
         // config line number instead of at run time.
+        // Mixes need at least their explicit threads= sum to
+        // construct, so size the trial accordingly instead of the
+        // single-thread default.
         WorkloadParams trial = spec.params;
-        trial.numThreads = 1;
+        trial.numThreads = spec.workload.isMix()
+                               ? mixMinimumThreads(spec.workload)
+                               : 1;
         trial.instrPerThread = 0;
         makeWorkload(spec.workload, trial);
     } else if (key == "num_threads") {

@@ -74,6 +74,15 @@ printSummary(const SimResult &res, std::ostream &out)
         << "amat_ns             "
         << ticksToNs(static_cast<Tick>(res.amatTotalTicks)) << "\n"
         << "cxl_bandwidth_gbps  " << res.cxlBandwidthGbps() << "\n";
+    for (const TenantResult &t : res.tenants) {
+        out << "tenant " << t.name << " (" << t.spec << ", "
+            << t.threads << " threads): ipc " << t.ipc()
+            << ", host r/w " << t.hostReads << "/" << t.hostWrites
+            << ", ssd hit/miss/w " << t.ssdReadHits << "/"
+            << t.ssdReadMisses << "/" << t.ssdWrites
+            << ", log appends " << t.logAppends
+            << ", flash read us " << t.flashReadLatencyUs << "\n";
+    }
 }
 
 std::string
@@ -130,8 +139,33 @@ toJson(const SimResult &res)
     appendCdf(os, "offchip_latency_cdf_ns",
               res.offchipLatency.cdfPoints());
     appendCdf(os, "read_locality_cdf", res.readLocality.cdfPoints());
+    // Per-tenant buckets exist only for >=2-tenant mix runs, so
+    // single-workload reports keep their exact byte layout (the
+    // checked-in reference reports and fingerprint pins rely on it).
     appendCdf(os, "write_locality_cdf", res.writeLocality.cdfPoints(),
-              false);
+              !res.tenants.empty());
+    if (!res.tenants.empty()) {
+        os << "  \"tenants\": [";
+        for (std::size_t i = 0; i < res.tenants.size(); ++i) {
+            const TenantResult &t = res.tenants[i];
+            os << (i == 0 ? "\n" : ",\n");
+            os << "    {\"name\": \"" << t.name << "\", \"spec\": \""
+               << t.spec << "\", \"threads\": " << t.threads
+               << ", \"instructions\": " << t.instructions
+               << ", \"exec_time_ticks\": " << t.execTime
+               << ", \"ipc\": " << t.ipc()
+               << ", \"host_reads\": " << t.hostReads
+               << ", \"host_writes\": " << t.hostWrites
+               << ", \"ssd_read_hits\": " << t.ssdReadHits
+               << ", \"ssd_read_misses\": " << t.ssdReadMisses
+               << ", \"ssd_writes\": " << t.ssdWrites
+               << ", \"log_appends\": " << t.logAppends
+               << ", \"flash_page_reads\": " << t.flashPageReads
+               << ", \"flash_read_latency_us\": "
+               << t.flashReadLatencyUs << "}";
+        }
+        os << "\n  ]\n";
+    }
     os << "}\n";
     return os.str();
 }

@@ -486,6 +486,23 @@ registerBuiltinSweeps()
          "ptrchase:footprint=16M,chain=32",
          "phased:phase_instr=8000,write_ratio=0.3"},
         {"Base-CSSD", "SkyByte-Full"}, 4'000));
+
+    // Multi-tenant co-location: heterogeneous mixes sharing one device
+    // (write-log pressure, PLB thrash and migration churn only show up
+    // with co-located tenants). Per-tenant stat buckets land in each
+    // point's SimResult; CI gates the report against
+    // tests/data/colocation.reference.json and proves shard/merge
+    // byte-identity on this sweep too.
+    registerSweepUnlocked(variantGrid(
+        "colocation",
+        "multi-tenant co-location mixes (mix: spec combinator)",
+        {"mix:hot=zipf:theta=0.9,footprint=16M;"
+         "stream=scan:stride=128,footprint=16M,threads=2",
+         "mix:a=zipf:footprint=8M;"
+         "b=zipf:footprint=8M,write_ratio=0.4,threads=2",
+         "mix:chase=ptrchase:footprint=8M,chain=16,threads=2;"
+         "oltp=tpcc:footprint=16M"},
+        {"Base-CSSD", "SkyByte-W", "SkyByte-Full"}, 4'000));
 }
 
 } // namespace detail

@@ -3,14 +3,34 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "trace/mix_workload.h"
+
 namespace skybyte {
+
+void
+MemRouter::noteHost(Addr vaddr, bool is_write)
+{
+    if (is_write)
+        hostWrites_++;
+    else
+        hostReads_++;
+    if (tenantHostReads_.empty())
+        return;
+    const int t = sys_.tenantOfVaddr(vaddr);
+    if (t < 0)
+        return;
+    if (is_write)
+        tenantHostWrites_[static_cast<std::size_t>(t)]++;
+    else
+        tenantHostReads_[static_cast<std::size_t>(t)]++;
+}
 
 void
 MemRouter::read(const MemRequest &req, Tick when, MemCallback cb)
 {
     const Addr vaddr = req.lineAddr;
     if (sys_.cfg_.dramOnly || !sys_.isDeviceAddr(vaddr)) {
-        hostReads_++;
+        noteHost(vaddr, false);
         // readAt() reports the completion tick, so the latency sum is
         // accounted here instead of by wrapping the callback (the sum
         // of integral tick deltas is exact in a double either way).
@@ -33,7 +53,7 @@ MemRouter::read(const MemRequest &req, Tick when, MemCallback cb)
         sys_.migration_->onSsdAccess(lpn, when); // TPP sampling
         if (sys_.migration_->route(lpn, lineInPage(dev), when, false)
             == PageHome::Host) {
-            hostReads_++;
+            noteHost(vaddr, false);
             MemRequest hreq = req;
             hreq.lineAddr = dev; // promoted pages keyed by device addr
             // The response's lineAddr carries the device address; the
@@ -54,7 +74,7 @@ MemRouter::write(const MemRequest &req, Tick when)
 {
     const Addr vaddr = req.lineAddr;
     if (sys_.cfg_.dramOnly || !sys_.isDeviceAddr(vaddr)) {
-        hostWrites_++;
+        noteHost(vaddr, true);
         sys_.hostDram_->write(req, when);
         return;
     }
@@ -69,7 +89,7 @@ MemRouter::write(const MemRequest &req, Tick when)
     if (sys_.migration_ != nullptr
         && sys_.migration_->route(lpn, lineInPage(dev), when, true)
                == PageHome::Host) {
-        hostWrites_++;
+        noteHost(vaddr, true);
         MemRequest hreq = req;
         hreq.lineAddr = dev;
         sys_.hostDram_->write(hreq, when);
@@ -124,6 +144,15 @@ System::buildSystem(
     hostDram_ = std::make_unique<DramModel>(eq_, cfg_.hostDram);
     ssd_ = std::make_unique<SsdController>(cfg_, eq_, *link_);
 
+    // Co-located run: enable per-tenant stat buckets. A single-tenant
+    // mix stays unbucketed so it reports (and fingerprints) exactly
+    // like the plain workload it degenerates to.
+    mix_ = dynamic_cast<MixWorkload *>(workload_.get());
+    if (mix_ != nullptr && mix_->tenants().size() >= 2) {
+        ssd_->setTenantBounds(mix_->tenantDeviceStarts(),
+                              mix_->footprintBytes());
+    }
+
     if (!cfg_.dramOnly && cfg_.preconditionSsd) {
         const std::uint64_t pages =
             workload_->footprintBytes() / kPageBytes;
@@ -145,6 +174,8 @@ System::buildSystem(
     }
 
     router_ = std::make_unique<MemRouter>(*this);
+    if (mix_ != nullptr && mix_->tenants().size() >= 2)
+        router_->enableTenantAccounting(mix_->tenants().size());
     uncore_ = std::make_unique<Uncore>(cfg_.cpu, eq_, *router_);
 
     for (int c = 0; c < cfg_.cpu.numCores; ++c) {
@@ -250,6 +281,22 @@ System::toDeviceAddr(Addr vaddr) const
     return vaddr - Workload::kDataBase;
 }
 
+int
+System::tenantOfVaddr(Addr vaddr) const
+{
+    if (mix_ == nullptr)
+        return -1;
+    if (isDeviceAddr(vaddr))
+        return mix_->tenantOfDeviceOffset(toDeviceAddr(vaddr));
+    if (vaddr >= Workload::kPrivateBase) {
+        const Addr tid =
+            (vaddr - Workload::kPrivateBase) / Workload::kPrivateStride;
+        if (tid < threads_.size())
+            return mix_->tenantOfThread(static_cast<int>(tid));
+    }
+    return -1;
+}
+
 SimResult
 System::run(Tick max_ticks)
 {
@@ -337,6 +384,45 @@ System::run(Tick max_ticks)
         res.astriHostHits = astri_->stats().hostHits;
         res.astriHostMisses = astri_->stats().hostMisses;
         res.promotions = astri_->stats().pageFills;
+    }
+
+    if (mix_ != nullptr && mix_->tenants().size() >= 2) {
+        const std::vector<MixTenant> &tenants = mix_->tenants();
+        const std::vector<SsdTenantCounters> &device =
+            ssd_->tenantCounters();
+        res.tenants.reserve(tenants.size());
+        for (std::size_t i = 0; i < tenants.size(); ++i) {
+            TenantResult tr;
+            tr.name = tenants[i].name;
+            tr.spec = tenants[i].specText;
+            tr.threads = tenants[i].threads;
+            for (std::size_t tid = 0; tid < threads_.size(); ++tid) {
+                if (mix_->tenantOfThread(static_cast<int>(tid))
+                    != static_cast<int>(i)) {
+                    continue;
+                }
+                tr.instructions += workload_->instructionsEmitted(
+                    static_cast<int>(tid));
+                tr.execTime =
+                    std::max(tr.execTime, threads_[tid]->finishTime());
+            }
+            tr.hostReads = router_->tenantHostReads()[i];
+            tr.hostWrites = router_->tenantHostWrites()[i];
+            tr.ssdReadHits =
+                device[i].readHitsLog + device[i].readHitsCache;
+            tr.ssdReadMisses = device[i].readMisses;
+            tr.ssdWrites = device[i].writes;
+            tr.logAppends = device[i].logAppends;
+            tr.flashPageReads = device[i].flashPageReads;
+            tr.flashReadLatencyUs =
+                device[i].flashPageReads == 0
+                    ? 0.0
+                    : ticksToUs(static_cast<Tick>(
+                          device[i].flashReadTicks
+                          / static_cast<double>(
+                              device[i].flashPageReads)));
+            res.tenants.push_back(std::move(tr));
+        }
     }
 
     res.cxlBytes = link_->bytesTransferred();

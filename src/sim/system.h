@@ -32,6 +32,46 @@
 
 namespace skybyte {
 
+/**
+ * Per-tenant slice of a co-located (`mix:`) run. Populated only for
+ * mixes with two or more tenants; request counts partition the
+ * aggregate SimResult totals exactly (every host/SSD line request is
+ * owned by exactly one tenant via its namespaced address range), which
+ * tests/test_system.cc pins as a property.
+ */
+struct TenantResult
+{
+    std::string name; ///< tenant label from the mix spec
+    std::string spec; ///< child spec text
+    int threads = 0;
+    /** Instructions the tenant's threads emitted (== committed when
+     *  the run finished without timing out). */
+    std::uint64_t instructions = 0;
+    /** Last completion among the tenant's threads. */
+    Tick execTime = 0;
+    std::uint64_t hostReads = 0;
+    std::uint64_t hostWrites = 0;
+    std::uint64_t ssdReadHits = 0; ///< log + cache hits
+    std::uint64_t ssdReadMisses = 0;
+    std::uint64_t ssdWrites = 0;
+    /** Write-log appends for this tenant's pages (log pressure). */
+    std::uint64_t logAppends = 0;
+    /** Flash page arrivals for this tenant (incl. prefetch). */
+    std::uint64_t flashPageReads = 0;
+    /** Mean flash read latency of those arrivals (us). */
+    double flashReadLatencyUs = 0;
+
+    double
+    ipc() const
+    {
+        return execTime == 0
+                   ? 0.0
+                   : static_cast<double>(instructions)
+                         / (static_cast<double>(execTime)
+                            / static_cast<double>(kTicksPerCycle));
+    }
+};
+
 /** Everything a run produces (see DESIGN.md §4 for figure mapping). */
 struct SimResult
 {
@@ -105,6 +145,10 @@ struct SimResult
     RatioHistogram readLocality;
     RatioHistogram writeLocality;
 
+    /** Per-tenant buckets (empty unless the workload is a >=2-tenant
+     *  mix, so single-workload reports are byte-unchanged). */
+    std::vector<TenantResult> tenants;
+
     /** Derived helpers. @{ */
     double execMs() const { return ticksToNs(execTime) / 1e6; }
     double
@@ -145,6 +189,7 @@ struct SimResult
 };
 
 class System;
+class MixWorkload;
 
 /**
  * Host physical-address router (the MemoryBackend the uncore sees).
@@ -161,11 +206,33 @@ class MemRouter : public MemoryBackend
     std::uint64_t hostWrites() const { return hostWrites_; }
     double hostReadTicks() const { return hostReadTicks_; }
 
+    /** Enable per-tenant host-DRAM request buckets (mix runs). */
+    void
+    enableTenantAccounting(std::size_t tenants)
+    {
+        tenantHostReads_.assign(tenants, 0);
+        tenantHostWrites_.assign(tenants, 0);
+    }
+
+    const std::vector<std::uint64_t> &tenantHostReads() const
+    {
+        return tenantHostReads_;
+    }
+    const std::vector<std::uint64_t> &tenantHostWrites() const
+    {
+        return tenantHostWrites_;
+    }
+
   private:
+    /** Count one host-DRAM access against @p vaddr's tenant. */
+    void noteHost(Addr vaddr, bool is_write);
+
     System &sys_;
     std::uint64_t hostReads_ = 0;
     std::uint64_t hostWrites_ = 0;
     double hostReadTicks_ = 0;
+    std::vector<std::uint64_t> tenantHostReads_;
+    std::vector<std::uint64_t> tenantHostWrites_;
 };
 
 /**
@@ -230,6 +297,14 @@ class System
     Tick numaPenalty(int core_id) const;
     /** @} */
 
+    /**
+     * Tenant owning @p vaddr in a co-located run (-1 when the address
+     * belongs to no tenant or the workload is not a mix). Device
+     * addresses classify by the mix's namespaced regions, private
+     * addresses by the owning thread's tenant.
+     */
+    int tenantOfVaddr(Addr vaddr) const;
+
   private:
     friend class MemRouter;
 
@@ -244,6 +319,8 @@ class System
     WorkloadParams params_;
     EventQueue eq_;
     std::unique_ptr<Workload> workload_;
+    /** Non-null when workload_ is a mix (tenant classification). */
+    MixWorkload *mix_ = nullptr;
     /** SimResult.workload string; defaults to workload_->name(). */
     std::string workloadLabel_;
     std::unique_ptr<CxlLink> link_;

@@ -48,9 +48,12 @@ WorkloadSpec::raw(const std::string &key) const
 std::string
 WorkloadSpec::text() const
 {
+    // Mix entries are tenant=child-spec bindings whose values contain
+    // ',' and ':', so the mix level separates with ';'.
+    const char sep = isMix() ? ';' : ',';
     std::string out = name;
     for (std::size_t i = 0; i < args.size(); ++i) {
-        out += i == 0 ? ':' : ',';
+        out += i == 0 ? ':' : sep;
         out += args[i].first;
         out += '=';
         out += args[i].second;
@@ -68,20 +71,28 @@ parseWorkloadSpec(const std::string &text)
         throw std::invalid_argument("bad workload spec name: \"" + text
                                     + "\"");
     }
-    if (colon == std::string::npos)
+    if (colon == std::string::npos) {
+        if (spec.isMix()) {
+            throw std::invalid_argument(
+                "mix spec needs at least one tenant=child-spec entry: \""
+                + text + "\"");
+        }
         return spec;
+    }
 
     const std::string body = text.substr(colon + 1);
     if (body.empty()) {
         throw std::invalid_argument("workload spec has empty argument "
                                     "list: \"" + text + "\"");
     }
+    // Mix bodies split on ';' (tenant entries); plain bodies on ','.
+    const char sep = spec.isMix() ? ';' : ',';
     std::size_t pos = 0;
     while (pos <= body.size()) {
-        const auto comma = body.find(',', pos);
+        const auto end = body.find(sep, pos);
         const std::string arg =
-            body.substr(pos, comma == std::string::npos ? std::string::npos
-                                                        : comma - pos);
+            body.substr(pos, end == std::string::npos ? std::string::npos
+                                                      : end - pos);
         const auto eq = arg.find('=');
         if (eq == 0 || eq == std::string::npos) {
             throw std::invalid_argument(
@@ -95,15 +106,55 @@ parseWorkloadSpec(const std::string &text)
                                         + key + " in \"" + text + "\"");
         }
         if (spec.has(key)) {
-            throw std::invalid_argument("duplicate workload arg " + key
-                                        + " in \"" + text + "\"");
+            throw std::invalid_argument(
+                std::string(spec.isMix() ? "duplicate mix tenant "
+                                         : "duplicate workload arg ")
+                + key + " in \"" + text + "\"");
         }
         spec.args.emplace_back(key, value);
-        if (comma == std::string::npos)
+        if (end == std::string::npos)
             break;
-        pos = comma + 1;
+        pos = end + 1;
+    }
+    if (spec.isMix()) {
+        // Child specs are validated eagerly so a malformed tenant fails
+        // at parse time with its config line number, not at run time.
+        parseMixTenants(spec);
     }
     return spec;
+}
+
+std::vector<MixTenantSpec>
+parseMixTenants(const WorkloadSpec &spec)
+{
+    if (!spec.isMix()) {
+        throw std::invalid_argument("not a mix spec: \"" + spec.text()
+                                    + "\"");
+    }
+    std::vector<MixTenantSpec> tenants;
+    tenants.reserve(spec.args.size());
+    for (const auto &[tenant, child_text] : spec.args) {
+        if (!validName(tenant)) {
+            throw std::invalid_argument("bad mix tenant name \"" + tenant
+                                        + "\" in \"" + spec.text()
+                                        + "\"");
+        }
+        MixTenantSpec entry;
+        entry.tenant = tenant;
+        try {
+            entry.spec = parseWorkloadSpec(child_text);
+        } catch (const std::invalid_argument &e) {
+            throw std::invalid_argument("mix tenant " + tenant + ": "
+                                        + e.what());
+        }
+        if (entry.spec.isMix()) {
+            throw std::invalid_argument(
+                "mix tenant " + tenant
+                + " must not itself be a mix (no nesting)");
+        }
+        tenants.push_back(std::move(entry));
+    }
+    return tenants;
 }
 
 std::uint64_t
@@ -215,8 +266,13 @@ WorkloadSpecArgs::requireAllConsumed(
         }
     }
     if (!unknown.empty()) {
+        // Name the key AND the full spec text: the spec may be buried
+        // in a sweep axis or a mix tenant, and the config-file front
+        // end prefixes its source line number on top of this message.
         throw std::invalid_argument("workload " + workload_name
-                                    + " does not take arg(s): " + unknown);
+                                    + " does not take arg(s): " + unknown
+                                    + " (in spec \"" + spec_.text()
+                                    + "\")");
     }
 }
 

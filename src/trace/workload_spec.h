@@ -15,6 +15,17 @@
  * are consumed by the generator's factory, and any key nobody consumes
  * is an error, so typos cannot silently change an experiment — the
  * same contract the config-file front end enforces for its knobs.
+ *
+ * The reserved name `mix` is the co-location combinator: its argument
+ * list is `;`-separated (child specs use `,` and `:` internally) and
+ * every entry names a tenant bound to a child spec:
+ *
+ *   mix:a=zipf:footprint=4G;b=scan:threads=2
+ *
+ * Tenant names must be unique and children must not themselves be
+ * mixes. The combinator semantics (thread assignment, footprint
+ * namespacing) live in trace/mix_workload.h; this file owns only the
+ * grammar.
  */
 
 #ifndef SKYBYTE_TRACE_WORKLOAD_SPEC_H
@@ -41,15 +52,41 @@ struct WorkloadSpec
     /** Raw value of @p key; empty string when absent. */
     const std::string &raw(const std::string &key) const;
 
-    /** Re-render as canonical spec text (name:k=v,k=v in arg order). */
+    /**
+     * True for the `mix:` co-location combinator, whose args are
+     * tenant=child-spec bindings rather than generator arguments.
+     */
+    bool isMix() const { return name == "mix"; }
+
+    /**
+     * Re-render as canonical spec text (name:k=v,k=v in arg order;
+     * mixes separate their tenant entries with ';').
+     */
     std::string text() const;
 };
 
 /**
- * Parse `name[:key=value,...]`.
- * @throws std::invalid_argument on malformed text or duplicate keys.
+ * Parse `name[:key=value,...]`, or the mix combinator form
+ * `mix:tenant=child-spec[;tenant=child-spec]...` (child specs are
+ * validated eagerly, so a malformed child fails at parse time).
+ * @throws std::invalid_argument on malformed text, duplicate keys or
+ *         duplicate tenant names.
  */
 WorkloadSpec parseWorkloadSpec(const std::string &text);
+
+/** One tenant of a mix: its label and the parsed child spec. */
+struct MixTenantSpec
+{
+    std::string tenant;
+    WorkloadSpec spec;
+};
+
+/**
+ * Expand a mix spec's tenant bindings into parsed child specs.
+ * @throws std::invalid_argument if @p spec is not a mix, a child is
+ *         malformed, or a child is itself a mix (no nesting).
+ */
+std::vector<MixTenantSpec> parseMixTenants(const WorkloadSpec &spec);
 
 /**
  * Typed, consumption-tracked access to a spec's arguments. Factories

@@ -24,6 +24,7 @@
 #include <stdexcept>
 
 #include "common/rng.h"
+#include "trace/mix_workload.h"
 
 namespace skybyte {
 
@@ -770,6 +771,10 @@ insertRegistration(WorkloadRegistration reg)
 {
     if (reg.name.empty())
         throw std::invalid_argument("workload name must not be empty");
+    if (reg.name == "mix") {
+        throw std::invalid_argument(
+            "\"mix\" is reserved for the co-location combinator");
+    }
     if (!reg.make) {
         throw std::invalid_argument("workload " + reg.name
                                     + " has no factory");
@@ -944,6 +949,13 @@ registeredWorkloadNames()
 std::unique_ptr<Workload>
 makeWorkload(const WorkloadSpec &spec, const WorkloadParams &params)
 {
+    if (spec.isMix()) {
+        // The co-location combinator: args are tenant=child-spec
+        // bindings, not generator arguments, so the registry's common
+        // key handling below does not apply at the mix level (each
+        // child applies its own footprint/threads/instr/seed args).
+        return std::make_unique<MixWorkload>(spec, params);
+    }
     const WorkloadRegistration *reg = findWorkload(spec.name);
     if (reg == nullptr) {
         std::string known;

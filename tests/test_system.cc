@@ -139,6 +139,65 @@ TEST(SystemAccounting, RequestBreakdownNonzero)
     EXPECT_GT(res.ssdWrites, 0u);
 }
 
+TEST(SystemTenants, PerTenantCountsSumToAggregateTotals)
+{
+    // Co-located runs partition every request: each tenant owns a
+    // disjoint device-address range and a disjoint thread set, so the
+    // per-tenant buckets must sum exactly to the aggregate SimResult
+    // totals on every variant.
+    const std::string mix =
+        "mix:hot=zipf:theta=0.9,footprint=8M;"
+        "cold=uniform:footprint=8M,write_ratio=0.4,threads=2";
+    for (const std::string variant :
+         {"DRAM-Only", "Base-CSSD", "SkyByte-W", "SkyByte-Full"}) {
+        SCOPED_TRACE(variant);
+        SimConfig cfg = testConfig(variant);
+        ExperimentOptions opt = smallOpts();
+        opt.footprintBytes = 0; // tenants size their own footprints
+        System sys(cfg, mix, makeParams(cfg, opt));
+        const SimResult res = sys.run(kLimit);
+        ASSERT_FALSE(res.timedOut);
+        ASSERT_EQ(res.tenants.size(), 2u);
+        EXPECT_EQ(res.tenants[0].name, "hot");
+        EXPECT_EQ(res.tenants[1].name, "cold");
+        EXPECT_EQ(res.tenants[1].threads, 2);
+
+        std::uint64_t instructions = 0;
+        std::uint64_t host_reads = 0;
+        std::uint64_t host_writes = 0;
+        std::uint64_t ssd_hits = 0;
+        std::uint64_t ssd_misses = 0;
+        std::uint64_t ssd_writes = 0;
+        std::uint64_t log_appends = 0;
+        int threads = 0;
+        for (const TenantResult &t : res.tenants) {
+            instructions += t.instructions;
+            host_reads += t.hostReads;
+            host_writes += t.hostWrites;
+            ssd_hits += t.ssdReadHits;
+            ssd_misses += t.ssdReadMisses;
+            ssd_writes += t.ssdWrites;
+            log_appends += t.logAppends;
+            threads += t.threads;
+            EXPECT_GT(t.instructions, 0u) << t.name;
+            EXPECT_LE(t.execTime, res.execTime) << t.name;
+        }
+        EXPECT_EQ(threads, sys.workload().numThreads());
+        EXPECT_EQ(instructions, res.committedInstructions);
+        EXPECT_EQ(host_reads, res.hostReads);
+        EXPECT_EQ(host_writes, res.hostWrites);
+        EXPECT_EQ(ssd_hits, res.ssdReadHits);
+        EXPECT_EQ(ssd_misses, res.ssdReadMisses);
+        EXPECT_EQ(ssd_writes, res.ssdWrites);
+        EXPECT_EQ(log_appends, res.logAppends);
+        // The run must actually exercise both sides of the split.
+        if (variant != "DRAM-Only") {
+            EXPECT_GT(ssd_hits + ssd_misses, 0u);
+            EXPECT_GT(ssd_writes, 0u);
+        }
+    }
+}
+
 TEST(SystemDeterminism, SameSeedSameResult)
 {
     SimResult a = runTestVariant("SkyByte-Full", "uniform", smallOpts());

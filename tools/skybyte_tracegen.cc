@@ -20,6 +20,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "trace/mix_workload.h"
 #include "trace/trace_file.h"
 #include "trace/workload.h"
 
@@ -37,7 +38,9 @@ usage()
         "                        [-i instr-per-thread] [-m footprint-mb]"
         " [-s seed]\n"
         "workload specs: name[:key=value,...], e.g."
-        " zipf:theta=0.99,footprint=64M\nregistered:");
+        " zipf:theta=0.99,footprint=64M\n"
+        "co-location:    mix:tenant=spec[;tenant=spec]..., e.g."
+        " \"mix:a=zipf:footprint=4G;b=scan:threads=2\"\nregistered:");
     for (const std::string &name : registeredWorkloadNames())
         std::fprintf(stderr, " %s", name.c_str());
     std::fprintf(stderr, "\n");
@@ -85,6 +88,14 @@ main(int argc, char **argv)
             return 2;
         }
         auto workload = makeWorkload(workload_name, params);
+        if (const auto *mix =
+                dynamic_cast<const MixWorkload *>(workload.get())) {
+            // Expand the mix so the capture's tenant layout (thread
+            // split, namespaced device regions) is on record next to
+            // the trace file.
+            for (const MixTenant &t : mix->tenants())
+                std::fputs(describeMixTenant(t).c_str(), stdout);
+        }
         const std::uint64_t records =
             writeTraceFile(out_path, *workload);
         std::printf("wrote %llu records (%d threads, %s, %.1f MB "

@@ -19,6 +19,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "trace/mix_workload.h"
 #include "trace/trace_file.h"
 #include "trace/trace_stats.h"
 #include "trace/workload.h"
@@ -35,6 +36,8 @@ usage()
                  "       skybyte_traceinfo -w <workload-spec>"
                  " [-n threads]"
                  " [-i instr-per-thread] [-m footprint-mb] [-s seed]\n"
+                 "co-location: -w \"mix:tenant=spec[;tenant=spec]...\""
+                 " prints the per-tenant layout\n"
                  "registered workloads:");
     for (const std::string &name : registeredWorkloadNames())
         std::fprintf(stderr, " %s", name.c_str());
@@ -90,6 +93,18 @@ main(int argc, char **argv)
         } else {
             workload = makeWorkload(workload_name, params);
             name = workload_name; // full spec text, not just the name
+        }
+        if (const auto *mix =
+                dynamic_cast<const MixWorkload *>(workload.get())) {
+            // Expand the mix: which threads and device window each
+            // tenant owns, so the combined distributions below can be
+            // read against the tenant layout.
+            std::printf("mix of %zu tenant(s), %d threads total:\n",
+                        mix->tenants().size(), mix->numThreads());
+            for (const MixTenant &t : mix->tenants()) {
+                std::fputs("  ", stdout);
+                std::fputs(describeMixTenant(t).c_str(), stdout);
+            }
         }
         const TraceSummary summary = summarizeWorkload(*workload);
         std::fputs(formatSummary(summary, name).c_str(), stdout);
