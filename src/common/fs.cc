@@ -1,0 +1,156 @@
+#include "common/fs.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace skybyte {
+
+namespace {
+
+[[noreturn]] void
+throwErrno(const std::string &what, const std::string &path)
+{
+    throw std::runtime_error(what + " " + path + ": "
+                             + std::strerror(errno));
+}
+
+/** Directory part of @p path ("." when there is no separator). */
+std::string
+dirnameOf(const std::string &path)
+{
+    const auto slash = path.rfind('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+std::string
+basenameOf(const std::string &path)
+{
+    const auto slash = path.rfind('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+void
+writeAll(int fd, const char *data, std::size_t size,
+         const std::string &path)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n = ::write(fd, data + done, size - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throwErrno("cannot write", path);
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+std::string
+readFileText(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad())
+        throw std::runtime_error("cannot read file: " + path);
+    return buf.str();
+}
+
+void
+writeFileAtomic(const std::string &path, const std::string &text)
+{
+    // The temporary must live in the target directory: rename() is
+    // only atomic within one filesystem.
+    std::string tmpl = dirnameOf(path) + "/." + basenameOf(path)
+                       + ".tmp.XXXXXX";
+    std::vector<char> tmp(tmpl.begin(), tmpl.end());
+    tmp.push_back('\0');
+    const int fd = ::mkstemp(tmp.data());
+    if (fd < 0)
+        throwErrno("cannot create temp file for", path);
+    const std::string tmp_path(tmp.data());
+    try {
+        writeAll(fd, text.data(), text.size(), tmp_path);
+        if (::fsync(fd) != 0)
+            throwErrno("cannot fsync", tmp_path);
+        if (::close(fd) != 0)
+            throwErrno("cannot close", tmp_path);
+    } catch (...) {
+        ::close(fd);
+        ::unlink(tmp_path.c_str());
+        throw;
+    }
+    if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        const int saved = errno;
+        ::unlink(tmp_path.c_str());
+        errno = saved;
+        throwErrno("cannot rename into", path);
+    }
+}
+
+void
+ensureDirs(const std::string &path)
+{
+    if (path.empty())
+        return;
+    std::string partial;
+    std::size_t i = 0;
+    while (i < path.size()) {
+        const auto slash = path.find('/', i);
+        const std::size_t end =
+            slash == std::string::npos ? path.size() : slash;
+        partial.assign(path, 0, end);
+        i = end + 1;
+        if (partial.empty() || partial == ".")
+            continue;
+        if (::mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST)
+            throwErrno("cannot create directory", partial);
+    }
+}
+
+void
+appendLine(const std::string &path, const std::string &line)
+{
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0666);
+    if (fd < 0)
+        throwErrno("cannot open for append", path);
+    std::string record = line;
+    record.push_back('\n');
+    try {
+        writeAll(fd, record.data(), record.size(), path);
+        if (::fsync(fd) != 0)
+            throwErrno("cannot fsync", path);
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+    if (::close(fd) != 0)
+        throwErrno("cannot close", path);
+}
+
+} // namespace skybyte

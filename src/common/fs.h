@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small filesystem helpers shared by the report writers and the
+ * hardened sweep executor. The one property everything here exists for
+ * is crash-safety: writeFileAtomic() commits a file with
+ * write-temp-then-rename so a reader never observes a truncated file,
+ * and appendLine() appends a journal record with a single O_APPEND
+ * write so a crashed driver leaves at most one partial trailing line.
+ */
+
+#ifndef SKYBYTE_COMMON_FS_H
+#define SKYBYTE_COMMON_FS_H
+
+#include <string>
+
+namespace skybyte {
+
+/** True when @p path names an existing regular file. */
+bool fileExists(const std::string &path);
+
+/**
+ * Read a whole file into a string.
+ * @throws std::runtime_error when the file cannot be opened or read.
+ */
+std::string readFileText(const std::string &path);
+
+/**
+ * Write @p text to @p path atomically: the bytes go to a temporary
+ * file in the same directory, are flushed to disk, and the temporary
+ * is renamed over @p path. Any reader (including one racing a crash)
+ * sees either the previous content or the complete new content, never
+ * a truncated mix.
+ * @throws std::runtime_error on any I/O failure (the temp is removed).
+ */
+void writeFileAtomic(const std::string &path, const std::string &text);
+
+/**
+ * mkdir -p: create @p path and any missing parents.
+ * @throws std::runtime_error when a component cannot be created.
+ */
+void ensureDirs(const std::string &path);
+
+/**
+ * Append @p line plus '\n' to @p path (creating it) with one O_APPEND
+ * write() call, so concurrent appenders and crashed writers cannot
+ * interleave or tear a record — at worst the final line is truncated,
+ * which journal readers must tolerate.
+ * @throws std::runtime_error on any I/O failure.
+ */
+void appendLine(const std::string &path, const std::string &line);
+
+} // namespace skybyte
+
+#endif // SKYBYTE_COMMON_FS_H

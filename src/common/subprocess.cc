@@ -1,0 +1,105 @@
+#include "common/subprocess.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace skybyte {
+
+std::string
+describeExit(const ChildExit &status)
+{
+    if (status.signaled) {
+        std::string out = "signal " + std::to_string(status.signal);
+        if (const char *name = ::strsignal(status.signal)) {
+            out += " (";
+            out += name;
+            out += ")";
+        }
+        return out;
+    }
+    return "exit " + std::to_string(status.exitCode);
+}
+
+pid_t
+spawnChild(const std::function<int()> &body)
+{
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        throw std::runtime_error(std::string("fork failed: ")
+                                 + std::strerror(errno));
+    }
+    if (pid == 0) {
+        int code = 127;
+        try {
+            code = body();
+        } catch (...) {
+            // The body is expected to catch its own exceptions; this
+            // is the last-resort barrier so nothing unwinds into the
+            // forked copy of the parent's stack.
+            code = 125;
+        }
+        ::_exit(code);
+    }
+    return pid;
+}
+
+namespace {
+
+ChildExit
+decodeStatus(int status)
+{
+    ChildExit out;
+    if (WIFSIGNALED(status)) {
+        out.signaled = true;
+        out.signal = WTERMSIG(status);
+    } else {
+        out.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : 126;
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+pollChild(pid_t pid, ChildExit &out)
+{
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == 0)
+        return false;
+    if (r < 0) {
+        throw std::runtime_error(std::string("waitpid failed: ")
+                                 + std::strerror(errno));
+    }
+    out = decodeStatus(status);
+    return true;
+}
+
+ChildExit
+waitChild(pid_t pid)
+{
+    int status = 0;
+    for (;;) {
+        const pid_t r = ::waitpid(pid, &status, 0);
+        if (r >= 0)
+            break;
+        if (errno != EINTR) {
+            throw std::runtime_error(std::string("waitpid failed: ")
+                                     + std::strerror(errno));
+        }
+    }
+    return decodeStatus(status);
+}
+
+void
+killChild(pid_t pid)
+{
+    ::kill(pid, SIGKILL);
+}
+
+} // namespace skybyte

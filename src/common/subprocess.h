@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal child-process helper for the process-isolated sweep executor
+ * (sim/run_executor.h): fork a child that runs a C++ callable, poll or
+ * wait for its exit, and SIGKILL it on timeout. POSIX-only, like the
+ * CI targets; each child runs one simulation point, so a crash, abort
+ * or OOM kill costs that point alone instead of the whole sweep.
+ */
+
+#ifndef SKYBYTE_COMMON_SUBPROCESS_H
+#define SKYBYTE_COMMON_SUBPROCESS_H
+
+#include <functional>
+#include <string>
+
+#include <sys/types.h>
+
+namespace skybyte {
+
+/** How a child process ended. */
+struct ChildExit
+{
+    /** True when the child died on a signal (exitCode is unset). */
+    bool signaled = false;
+    int exitCode = 0;
+    int signal = 0;
+
+    bool ok() const { return !signaled && exitCode == 0; }
+};
+
+/** "exit N" or "signal N (NAME)" — the journal's exit detail. */
+std::string describeExit(const ChildExit &status);
+
+/**
+ * Fork; the child runs @p body and _exit()s with its return value
+ * (bypassing atexit handlers, so a forked test harness does not rerun
+ * them). The caller must reap the pid with pollChild()/waitChild().
+ * @throws std::runtime_error when fork() fails.
+ */
+pid_t spawnChild(const std::function<int()> &body);
+
+/**
+ * Nonblocking reap: true (and fills @p out) when the child has exited,
+ * false while it is still running.
+ * @throws std::runtime_error when waitpid() fails (bad pid).
+ */
+bool pollChild(pid_t pid, ChildExit &out);
+
+/** Blocking reap. @throws std::runtime_error when waitpid() fails. */
+ChildExit waitChild(pid_t pid);
+
+/** Send SIGKILL (the pid must still be reaped afterwards). */
+void killChild(pid_t pid);
+
+} // namespace skybyte
+
+#endif // SKYBYTE_COMMON_SUBPROCESS_H

@@ -6,8 +6,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+
+#include "common/fs.h"
 
 namespace skybyte {
 
@@ -173,12 +176,7 @@ toJson(const SimResult &res)
 void
 writeJsonFile(const SimResult &res, const std::string &path)
 {
-    std::ofstream out(path);
-    if (!out)
-        throw std::runtime_error("cannot open output file: " + path);
-    out << toJson(res);
-    if (!out)
-        throw std::runtime_error("short write: " + path);
+    writeFileAtomic(path, toJson(res));
 }
 
 namespace {
@@ -298,10 +296,10 @@ class JsonScanner
 } // namespace
 
 std::string
-sweepEntryJson(std::size_t index, const std::string &id,
-               const SimResult &res)
+sweepEntryJsonFromText(std::size_t index, const std::string &id,
+                       const std::string &resultJson)
 {
-    std::string result_json = toJson(res);
+    std::string result_json = resultJson;
     // toJson ends with "}\n"; embed without the trailing newline.
     if (!result_json.empty() && result_json.back() == '\n')
         result_json.pop_back();
@@ -313,6 +311,31 @@ sweepEntryJson(std::size_t index, const std::string &id,
        << "}";
     return os.str();
 }
+
+std::string
+sweepEntryJson(std::size_t index, const std::string &id,
+               const SimResult &res)
+{
+    return sweepEntryJsonFromText(index, id, toJson(res));
+}
+
+namespace {
+
+/** Escape '"' and '\\' (failure details may quote shell text). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
 
 std::string
 toJson(const SweepReport &report)
@@ -328,7 +351,21 @@ toJson(const SweepReport &report)
     for (std::size_t i = 0; i < report.entries.size(); ++i) {
         os << (i == 0 ? "\n" : ",\n") << report.entries[i].text;
     }
-    os << "\n]\n}\n";
+    os << "\n]";
+    // An empty manifest is omitted entirely: complete reports keep the
+    // pre-manifest byte layout (merge identity, pinned references).
+    if (!report.failures.empty()) {
+        os << ",\n\"failures\": [";
+        for (std::size_t i = 0; i < report.failures.size(); ++i) {
+            const SweepPointFailure &f = report.failures[i];
+            os << (i == 0 ? "\n" : ",\n") << "{\"index\": " << f.index
+               << ", \"id\": \"" << jsonEscape(f.id) << "\", \"status\": \""
+               << jsonEscape(f.status) << "\", \"attempts\": " << f.attempts
+               << ", \"detail\": \"" << jsonEscape(f.detail) << "\"}";
+        }
+        os << "\n]";
+    }
+    os << "\n}\n";
     return os.str();
 }
 
@@ -360,6 +397,31 @@ parseSweepReport(const std::string &text)
         report.entries.push_back(std::move(entry));
         if (scan.lookingAt(','))
             scan.consume(',');
+    }
+    scan.consume(']');
+    // Optional failure manifest (partial runs only).
+    if (scan.lookingAt(',')) {
+        scan.consume(',');
+        scan.expect("\"failures\":");
+        scan.consume('[');
+        while (!scan.lookingAt(']')) {
+            const std::string text = scan.objectText();
+            JsonScanner inner(text);
+            SweepPointFailure f;
+            inner.expect("\"index\":");
+            f.index = inner.numberValue();
+            inner.expect("\"id\":");
+            f.id = inner.stringValue();
+            inner.expect("\"status\":");
+            f.status = inner.stringValue();
+            inner.expect("\"attempts\":");
+            f.attempts = static_cast<std::uint32_t>(inner.numberValue());
+            inner.expect("\"detail\":");
+            f.detail = inner.stringValue();
+            report.failures.push_back(std::move(f));
+            if (scan.lookingAt(','))
+                scan.consume(',');
+        }
     }
     return report;
 }
@@ -456,8 +518,11 @@ diffSweepReports(const SweepReport &a, const SweepReport &b,
         throw std::runtime_error("diff: different sweeps: " + a.sweep
                                  + " vs " + b.sweep);
     }
+    // Two complete reports must line up exactly; only reports carrying
+    // a failure manifest get the lenient per-index comparison.
     if (a.totalPoints != b.totalPoints
-        || a.entries.size() != b.entries.size()) {
+        || (a.failures.empty() && b.failures.empty()
+            && a.entries.size() != b.entries.size())) {
         throw std::runtime_error(
             "diff: point count mismatch in " + a.sweep + ": "
             + std::to_string(a.entries.size()) + "/"
@@ -467,14 +532,9 @@ diffSweepReports(const SweepReport &a, const SweepReport &b,
     }
     const double tol = tol_pct / 100.0;
     std::vector<std::string> drifts;
-    for (std::size_t e = 0; e < a.entries.size(); ++e) {
-        const SweepReportEntry &ea = a.entries[e];
-        const SweepReportEntry &eb = b.entries[e];
-        if (ea.index != eb.index) {
-            throw std::runtime_error(
-                "diff: entry order mismatch at position "
-                + std::to_string(e));
-        }
+
+    auto compareEntries = [&](const SweepReportEntry &ea,
+                              const SweepReportEntry &eb) {
         const std::vector<EntryToken> ta = lexEntry(ea.text);
         const std::vector<EntryToken> tb = lexEntry(eb.text);
         if (ta.size() != tb.size()) {
@@ -512,6 +572,50 @@ diffSweepReports(const SweepReport &a, const SweepReport &b,
                 drifts.push_back(os.str());
             }
         }
+    };
+
+    std::map<std::size_t, const SweepReportEntry *> ea, eb;
+    std::map<std::size_t, const SweepPointFailure *> fa, fb;
+    for (const SweepReportEntry &e : a.entries)
+        ea[e.index] = &e;
+    for (const SweepReportEntry &e : b.entries)
+        eb[e.index] = &e;
+    for (const SweepPointFailure &f : a.failures)
+        fa[f.index] = &f;
+    for (const SweepPointFailure &f : b.failures)
+        fb[f.index] = &f;
+
+    auto disposition =
+        [](const std::map<std::size_t, const SweepPointFailure *> &fails,
+           std::size_t index) -> std::string {
+        const auto it = fails.find(index);
+        return it == fails.end() ? "absent" : it->second->status;
+    };
+
+    for (std::size_t index = 0; index < a.totalPoints; ++index) {
+        const auto ita = ea.find(index);
+        const auto itb = eb.find(index);
+        if (ita != ea.end() && itb != eb.end()) {
+            compareEntries(*ita->second, *itb->second);
+            continue;
+        }
+        const std::string da = ita != ea.end()
+                                   ? "ok"
+                                   : disposition(fa, index);
+        const std::string db = itb != eb.end()
+                                   ? "ok"
+                                   : disposition(fb, index);
+        // Absent on both sides (the same unfinished shard slice) or an
+        // agreeing failure is not a drift.
+        if (da == db)
+            continue;
+        const auto itfa = fa.find(index);
+        const auto itfb = fb.find(index);
+        const std::string id = itfa != fa.end()   ? itfa->second->id
+                               : itfb != fb.end() ? itfb->second->id
+                                                  : "?";
+        drifts.push_back(a.sweep + "[" + std::to_string(index) + "] "
+                         + id + ": " + da + " vs " + db);
     }
     return drifts;
 }
@@ -537,23 +641,45 @@ mergeSweepReports(const std::vector<SweepReport> &shards)
         merged.entries.insert(merged.entries.end(),
                               shard.entries.begin(),
                               shard.entries.end());
+        merged.failures.insert(merged.failures.end(),
+                               shard.failures.begin(),
+                               shard.failures.end());
     }
     std::sort(merged.entries.begin(), merged.entries.end(),
               [](const SweepReportEntry &a, const SweepReportEntry &b) {
                   return a.index < b.index;
               });
-    if (merged.entries.size() != merged.totalPoints) {
+    std::sort(merged.failures.begin(), merged.failures.end(),
+              [](const SweepPointFailure &a, const SweepPointFailure &b) {
+                  return a.index < b.index;
+              });
+    // Every point index must be covered exactly once, but a
+    // failure-manifest record covers its index too: shards that
+    // degraded to partial results still merge into one (explicitly
+    // partial) report, while a genuinely missing slice stays an error.
+    std::vector<unsigned char> covered(merged.totalPoints, 0);
+    auto cover = [&](std::size_t index) {
+        if (index >= merged.totalPoints) {
+            throw std::runtime_error(
+                "merge: point index " + std::to_string(index)
+                + " out of range in " + merged.sweep);
+        }
+        if (covered[index]++) {
+            throw std::runtime_error(
+                "merge: duplicate or missing point index "
+                + std::to_string(index));
+        }
+    };
+    for (const SweepReportEntry &e : merged.entries)
+        cover(e.index);
+    for (const SweepPointFailure &f : merged.failures)
+        cover(f.index);
+    if (merged.entries.size() + merged.failures.size()
+        != merged.totalPoints) {
         throw std::runtime_error(
             "merge: " + std::to_string(merged.entries.size())
             + " entries for " + std::to_string(merged.totalPoints)
             + " points (missing or extra shards?)");
-    }
-    for (std::size_t i = 0; i < merged.entries.size(); ++i) {
-        if (merged.entries[i].index != i) {
-            throw std::runtime_error(
-                "merge: duplicate or missing point index "
-                + std::to_string(i));
-        }
     }
     return merged;
 }

@@ -34,7 +34,11 @@ void printSummary(const SimResult &res, std::ostream &out);
  */
 std::string toJson(const SimResult &res);
 
-/** Write toJson() to @p path. @throws std::runtime_error on failure. */
+/**
+ * Write toJson() to @p path crash-safely (write-temp-then-rename, so
+ * an interrupted run never leaves a truncated JSON file).
+ * @throws std::runtime_error on failure.
+ */
 void writeJsonFile(const SimResult &res, const std::string &path);
 
 /**
@@ -49,6 +53,23 @@ struct SweepReportEntry
     std::string text;
 };
 
+/**
+ * Failure-manifest record of one point that produced no result: how it
+ * ended ("failed" | "timeout" | "skipped"), after how many attempts,
+ * and the last exit detail ("signal 9", "exit 7", "killed after
+ * 5000 ms", ...). Written by the hardened executor
+ * (sim/run_executor.h) so a sweep with a permanently failing point
+ * still yields a usable — explicitly partial — report.
+ */
+struct SweepPointFailure
+{
+    std::size_t index = 0;
+    std::string id;
+    std::string status;
+    std::uint32_t attempts = 0;
+    std::string detail;
+};
+
 /** A (possibly partial) sweep run: manifest + per-point results. */
 struct SweepReport
 {
@@ -59,11 +80,28 @@ struct SweepReport
     std::uint32_t shardCount = 1;
     /** Entries sorted by index; a shard holds only the indices it owns. */
     std::vector<SweepReportEntry> entries;
+    /**
+     * Failure manifest, sorted by index, disjoint from entries. Empty
+     * for a fully successful run — and an empty manifest is not
+     * serialized at all, so complete reports keep the exact byte
+     * layout the merge/fingerprint identities rely on.
+     */
+    std::vector<SweepPointFailure> failures;
 };
 
 /** Serialize one point entry (the stable layout merging relies on). */
 std::string sweepEntryJson(std::size_t index, const std::string &id,
                            const SimResult &res);
+
+/**
+ * Same entry layout, but from an already-serialized toJson(SimResult)
+ * text (trailing newline optional). The isolated executor uses this to
+ * embed child-written result bytes verbatim, which is what makes an
+ * isolated run's report byte-identical to an in-process run's.
+ */
+std::string sweepEntryJsonFromText(std::size_t index,
+                                   const std::string &id,
+                                   const std::string &resultJson);
 
 /** Serialize a sweep report (deterministic byte layout). */
 std::string toJson(const SweepReport &report);
@@ -77,9 +115,12 @@ SweepReport parseSweepReport(const std::string &text);
 /**
  * Combine shard reports of one sweep into the complete report
  * (shard 0/1). Entry text is reused verbatim, so the result is
- * byte-identical to an unsharded run of the same sweep.
- * @throws std::runtime_error on sweep/total mismatch, duplicate or
- *         missing point indices.
+ * byte-identical to an unsharded run of the same sweep. Partial shards
+ * merge too: failure-manifest records count toward coverage, so every
+ * point index must be covered exactly once by an entry or a failure —
+ * a genuinely absent index (a lost shard) is still an error.
+ * @throws std::runtime_error on sweep/total mismatch, duplicate
+ *         indices, or indices covered by neither entries nor failures.
  */
 SweepReport mergeSweepReports(const std::vector<SweepReport> &shards);
 
@@ -93,6 +134,12 @@ SweepReport mergeSweepReports(const std::vector<SweepReport> &shards);
  * scalars and CDF points alike — may differ by at most @p tol_pct
  * percent relative difference (0 = numerically equal, which still
  * tolerates formatting differences like 1e3 vs 1000).
+ *
+ * Partial reports compare gracefully: points with entries in both
+ * reports are token-compared as usual, and a point that succeeded in
+ * one report but failed (or is absent) in the other — or whose failure
+ * status differs — is reported as a drift instead of throwing. Two
+ * complete reports with different entry counts remain incomparable.
  *
  * @return human-readable drift descriptions, empty when the reports
  *         agree within tolerance

@@ -265,17 +265,26 @@ shardOwns(const ShardSpec &shard, std::size_t index)
     return index % shard.count == shard.index;
 }
 
+std::vector<LabeledPoint>
+expandShard(const SweepSpec &spec, const ExperimentOptions &opt,
+            const ShardSpec &shard, std::size_t &totalPoints)
+{
+    std::vector<LabeledPoint> all = spec.expand(opt);
+    totalPoints = all.size();
+    std::vector<LabeledPoint> owned;
+    for (LabeledPoint &lp : all) {
+        if (shardOwns(shard, lp.index))
+            owned.push_back(std::move(lp));
+    }
+    return owned;
+}
+
 SweepExecution
 runSweepShard(const SweepSpec &spec, const ExperimentOptions &opt,
               const ShardSpec &shard, int nthreads)
 {
     SweepExecution exec;
-    std::vector<LabeledPoint> all = spec.expand(opt);
-    exec.totalPoints = all.size();
-    for (LabeledPoint &lp : all) {
-        if (shardOwns(shard, lp.index))
-            exec.points.push_back(std::move(lp));
-    }
+    exec.points = expandShard(spec, opt, shard, exec.totalPoints);
     std::vector<SweepPoint> points;
     points.reserve(exec.points.size());
     for (const LabeledPoint &lp : exec.points)

@@ -165,6 +165,18 @@ struct SweepExecution
 };
 
 /**
+ * Expand @p spec and keep only the points @p shard owns, in full
+ * cross-product index order. @p totalPoints receives the unsharded
+ * point count. Shared by the in-process runner (runSweepShard) and
+ * the process-isolated executor (sim/run_executor.h), so both walk
+ * the exact same grid.
+ */
+std::vector<LabeledPoint> expandShard(const SweepSpec &spec,
+                                      const ExperimentOptions &opt,
+                                      const ShardSpec &shard,
+                                      std::size_t &totalPoints);
+
+/**
  * Expand @p spec, keep the shard's points, run them on the runSweep()
  * pool. Results are independent of @p nthreads and of how the points
  * were sharded.

@@ -173,6 +173,120 @@ TEST(SweepReport, DiffRejectsStructuralMismatch)
     EXPECT_THROW(diffSweepReports(a, shorter, 1.0), std::runtime_error);
 }
 
+/** @p report with entry @p index demoted to a failure record. */
+SweepReport
+withFailure(const SweepReport &report, std::size_t index,
+            const std::string &status, const std::string &detail)
+{
+    SweepReport out = report;
+    for (auto it = out.entries.begin(); it != out.entries.end(); ++it) {
+        if (it->index != index)
+            continue;
+        // Recover the id from the entry text ("id": "...").
+        const std::string key = "\"id\": \"";
+        const auto at = it->text.find(key) + key.size();
+        const std::string id =
+            it->text.substr(at, it->text.find('"', at) - at);
+        out.failures.push_back({index, id, status, 3, detail});
+        out.entries.erase(it);
+        return out;
+    }
+    throw std::runtime_error("no entry with that index");
+}
+
+TEST(SweepReport, FailureManifestRoundTripsAndEmptyManifestIsOmitted)
+{
+    const SweepSpec *spec = findSweep("smoke");
+    ASSERT_NE(spec, nullptr);
+    ExperimentOptions opt;
+    opt.instrPerThread = 1'000;
+    const SweepReport complete = reportFor(*spec, opt, {0, 1});
+
+    // A fully successful report serializes no manifest at all — the
+    // pre-existing byte layout (merge identity, pinned fingerprints)
+    // must not change.
+    EXPECT_EQ(toJson(complete).find("\"failures\""), std::string::npos);
+
+    const SweepReport partial =
+        withFailure(complete, 2, "failed", "signal 9 (Killed)");
+    const std::string text = toJson(partial);
+    EXPECT_NE(text.find("\"failures\""), std::string::npos);
+
+    const SweepReport parsed = parseSweepReport(text);
+    ASSERT_EQ(parsed.failures.size(), 1u);
+    EXPECT_EQ(parsed.failures[0].index, 2u);
+    EXPECT_EQ(parsed.failures[0].id, partial.failures[0].id);
+    EXPECT_EQ(parsed.failures[0].status, "failed");
+    EXPECT_EQ(parsed.failures[0].attempts, 3u);
+    EXPECT_EQ(parsed.failures[0].detail, "signal 9 (Killed)");
+    EXPECT_EQ(parsed.entries.size(), complete.entries.size() - 1);
+    EXPECT_EQ(toJson(parsed), text);
+}
+
+TEST(SweepReport, MergeAcceptsPartialShardsAndKeepsTheManifest)
+{
+    const SweepSpec *spec = findSweep("smoke");
+    ASSERT_NE(spec, nullptr);
+    ExperimentOptions opt;
+    opt.instrPerThread = 1'000;
+    const SweepReport s0 = reportFor(*spec, opt, {0, 2});
+    const SweepReport s1 = reportFor(*spec, opt, {1, 2});
+
+    // A failure record covers its index: the merge stays legal and the
+    // manifest survives into the merged report.
+    const SweepReport s1partial =
+        withFailure(s1, 1, "timeout", "killed after 5000 ms");
+    const SweepReport merged = mergeSweepReports({s0, s1partial});
+    EXPECT_EQ(merged.entries.size(), 3u);
+    ASSERT_EQ(merged.failures.size(), 1u);
+    EXPECT_EQ(merged.failures[0].index, 1u);
+    EXPECT_EQ(merged.failures[0].status, "timeout");
+
+    // The merged partial round-trips.
+    EXPECT_EQ(toJson(parseSweepReport(toJson(merged))), toJson(merged));
+
+    // An index covered by neither entries nor failures is still a lost
+    // shard, not a partial run.
+    SweepReport dropped = s1;
+    dropped.entries.pop_back();
+    EXPECT_THROW(mergeSweepReports({s0, dropped}), std::runtime_error);
+
+    // An index covered twice (entry here, failure there) is corrupt.
+    SweepReport overlap = s1;
+    overlap.failures.push_back({0, "ycsb/Base-CSSD", "failed", 1, ""});
+    EXPECT_THROW(mergeSweepReports({s0, overlap}), std::runtime_error);
+}
+
+TEST(SweepReport, DiffComparesPartialReportsGracefully)
+{
+    const SweepSpec *spec = findSweep("smoke");
+    ASSERT_NE(spec, nullptr);
+    ExperimentOptions opt;
+    opt.instrPerThread = 1'000;
+    const SweepReport a = reportFor(*spec, opt, {0, 1});
+    const SweepReport partial =
+        withFailure(a, 3, "failed", "exit 7");
+
+    // Succeeded-vs-failed is drift, not a structural error, and the
+    // drift names the point and both dispositions.
+    const auto drifts = diffSweepReports(a, partial, 1.0);
+    ASSERT_EQ(drifts.size(), 1u);
+    EXPECT_NE(drifts[0].find("srad/SkyByte-Full"), std::string::npos);
+    EXPECT_NE(drifts[0].find("ok"), std::string::npos);
+    EXPECT_NE(drifts[0].find("failed"), std::string::npos);
+
+    // Two partials that agree on the failure have no drift.
+    EXPECT_TRUE(diffSweepReports(partial, partial, 0.0).empty());
+
+    // Disagreeing failure statuses drift too.
+    const SweepReport timed =
+        withFailure(a, 3, "timeout", "killed after 5000 ms");
+    const auto status_drift = diffSweepReports(partial, timed, 1.0);
+    ASSERT_EQ(status_drift.size(), 1u);
+    EXPECT_NE(status_drift[0].find("failed"), std::string::npos);
+    EXPECT_NE(status_drift[0].find("timeout"), std::string::npos);
+}
+
 TEST(SweepReport, ParseRejectsGarbage)
 {
     EXPECT_THROW(parseSweepReport("not json"), std::runtime_error);

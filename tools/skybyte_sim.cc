@@ -16,10 +16,16 @@
  *   -d        run with effectively infinite host DRAM for promotions
  *   -r        output DRAM-only performance results (ideal baseline)
  *
- * With no arguments it runs a demonstration configuration. Exits 2
- * when the run hit the safety tick limit (timedOut), so scripted
- * sweeps can detect truncated runs; with "-f -" the progress line is
- * suppressed and stdout carries only the JSON.
+ * With no arguments it runs a demonstration configuration. With
+ * "-f -" the progress line is suppressed and stdout carries only the
+ * JSON; file output is committed write-temp-then-rename, so an
+ * interrupted run never leaves a truncated JSON file.
+ *
+ * Exit codes (the CLI contract, also in the README):
+ *   0  success
+ *   1  usage or runtime error (bad flags, config, workload, I/O)
+ *   2  the run hit the in-sim safety tick limit (timedOut), so
+ *      scripted sweeps can detect truncated runs
  */
 
 #include <cstdio>
@@ -40,7 +46,9 @@ usage()
     std::fprintf(
         stderr,
         "usage: skybyte_sim [-b cfg] [-w cfg] [-t cfg] [-k key=value]\n"
-        "                   [-c cores] [-f out.json] [-p] [-d] [-r]\n");
+        "                   [-c cores] [-f out.json] [-p] [-d] [-r]\n"
+        "exit codes: 0 ok; 1 usage/runtime error; 2 in-sim safety tick"
+        " limit hit\n");
 }
 
 } // namespace

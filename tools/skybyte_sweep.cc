@@ -7,23 +7,51 @@
  *   skybyte_sweep --points <name>
  *       Print the labeled point grid of one sweep.
  *   skybyte_sweep --run <name> [--shard i/N] [-o out.json] [-j n]
- *       Run one sweep (or one shard of it) on the worker pool and
- *       write the mergeable JSON report. "-o -" writes to stdout.
- *       Exits 3 when any point timed out.
+ *       Run one sweep (or one shard of it) on the in-process worker
+ *       pool and write the mergeable JSON report. "-o -" writes to
+ *       stdout. Reports are committed write-temp-then-rename, so an
+ *       interrupted run never leaves a truncated file.
+ *   skybyte_sweep --run <name> --run-dir <dir> [--timeout-s S]
+ *                 [--retries N] [--backoff-ms MS] [--resume]
+ *                 [--require-complete]
+ *       Hardened execution (sim/run_executor.h): every point runs in
+ *       its own child process under a per-point wall-clock timeout,
+ *       failed/timed-out points retry with seeded exponential backoff,
+ *       each attempt is journaled to <dir>/journal.jsonl and each
+ *       result committed to <dir>/points/<i>.json — so --resume after
+ *       a driver crash re-runs only incomplete points. Points that
+ *       still fail degrade the report to a partial one with a failure
+ *       manifest instead of aborting the sweep; --require-complete
+ *       turns that into a hard error.
  *   skybyte_sweep --merge a.json b.json... [-o out.json]
+ *                 [--require-complete]
  *       Recombine shard reports; the output is byte-identical to an
- *       unsharded run of the same sweep.
+ *       unsharded run of the same sweep. Partial shard reports merge
+ *       too (their failure manifests combine); --require-complete
+ *       rejects a merge whose result is not fully successful.
  *   skybyte_sweep --diff a.json b.json [--tol pct]
  *       Compare two reports of the same sweep: structure and ids must
  *       match exactly, numeric metrics may drift up to --tol percent
- *       (default 0 = numerically equal). Prints each drift and exits 4
- *       when any exceeds tolerance — the regression gate CI uses in
- *       place of byte-exact diffs, which runner libm updates can break.
+ *       (default 0 = numerically equal). Points that failed in one
+ *       report but not the other count as drifts.
+ *
+ * Exit codes (the CLI contract, also in the README):
+ *   0  success
+ *   1  usage error
+ *   2  runtime error (I/O, malformed report, simulation failure)
+ *   3  the sweep ran, but some point hit the in-sim safety tick limit
+ *   4  --diff found drift beyond tolerance
+ *   5  partial failure: some points failed permanently; the partial
+ *      report (with its failure manifest) WAS written
+ *   6  run-dir/resume state error (missing or mismatched journal,
+ *      refusing to clobber), or incomplete result under
+ *      --require-complete
  *
  * Scale knobs are the bench ones (SKYBYTE_BENCH_INSTR/THREADS/
  * FOOTPRINT_MB, SKYBYTE_BENCH_NTHREADS); SKYBYTE_SWEEP_SHARD is the
  * environment form of --shard, which CI uses to fan a sweep across
- * jobs.
+ * jobs. SKYBYTE_BACKOFF_MS overrides the retry backoff unit and
+ * SKYBYTE_FAULT injects deterministic child faults (tests/CI only).
  */
 
 #include <cstdio>
@@ -34,7 +62,9 @@
 #include <string>
 #include <vector>
 
+#include "common/fs.h"
 #include "sim/report.h"
+#include "sim/run_executor.h"
 #include "sim/sweep.h"
 
 using namespace skybyte;
@@ -50,8 +80,18 @@ usage()
         "       skybyte_sweep --points <name>\n"
         "       skybyte_sweep --run <name> [--shard i/N] [-o out.json]"
         " [-j nthreads]\n"
-        "       skybyte_sweep --merge a.json b.json... [-o out.json]\n"
-        "       skybyte_sweep --diff a.json b.json [--tol pct]\n");
+        "                     [--run-dir dir [--timeout-s secs]"
+        " [--retries n]\n"
+        "                     [--backoff-ms ms] [--resume]"
+        " [--require-complete]]\n"
+        "       skybyte_sweep --merge a.json b.json... [-o out.json]"
+        " [--require-complete]\n"
+        "       skybyte_sweep --diff a.json b.json [--tol pct]\n"
+        "exit codes: 0 ok; 1 usage; 2 error; 3 sim-timeout point(s);\n"
+        "            4 diff drift; 5 partial failure (manifest"
+        " written);\n"
+        "            6 run-dir/resume state error or --require-complete"
+        " violation\n");
 }
 
 int
@@ -89,18 +129,99 @@ writeReport(const SweepReport &report, const std::string &path)
         std::fwrite(text.data(), 1, text.size(), stdout);
         return;
     }
-    std::ofstream out(path);
-    if (!out)
-        throw std::runtime_error("cannot open output file: " + path);
-    out << text;
-    if (!out)
-        throw std::runtime_error("short write: " + path);
+    writeFileAtomic(path, text);
     std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+std::string
+defaultOutPath(const std::string &name, const ShardSpec &shard)
+{
+    std::string out_path = name;
+    if (shard.count > 1) {
+        out_path += ".shard" + std::to_string(shard.index) + "_"
+                    + std::to_string(shard.count);
+    }
+    return out_path + ".json";
+}
+
+/** All --run/--merge knobs in one place. */
+struct RunFlags
+{
+    std::string runDir;
+    double timeoutSec = 0.0;
+    std::uint32_t retries = 0;
+    std::int64_t backoffMs = -1; ///< <0 = SKYBYTE_BACKOFF_MS/default
+    bool resume = false;
+    bool requireComplete = false;
+};
+
+int
+runIsolated(const SweepSpec &spec, const ShardSpec &shard,
+            const std::string &out_path, int nthreads,
+            const RunFlags &flags)
+{
+    const ExperimentOptions opt = spec.optionsFromEnv();
+    std::size_t total_points = 0;
+    const std::vector<LabeledPoint> points =
+        expandShard(spec, opt, shard, total_points);
+
+    ExecutorOptions exec_opt = executorOptionsFromEnv();
+    exec_opt.runDir = flags.runDir;
+    exec_opt.nthreads = nthreads;
+    exec_opt.retries = flags.retries;
+    exec_opt.timeoutMs =
+        static_cast<std::uint64_t>(flags.timeoutSec * 1000.0);
+    if (flags.backoffMs >= 0) {
+        exec_opt.backoffBaseMs =
+            static_cast<std::uint64_t>(flags.backoffMs);
+    }
+    exec_opt.resume = flags.resume;
+
+    const IsolatedExecution exec = runSweepIsolated(
+        spec.name, total_points, shard, points, exec_opt);
+    const SweepReport report =
+        buildIsolatedReport(spec.name, total_points, shard, exec);
+    writeReport(report, out_path);
+
+    const std::size_t ok = exec.countWith(PointStatus::Ok);
+    const std::size_t resumed = [&] {
+        std::size_t n = 0;
+        for (const PointOutcome &o : exec.outcomes)
+            n += o.resumedFromDisk ? 1 : 0;
+        return n;
+    }();
+    std::fprintf(stderr,
+                 "%s: %zu/%zu points ok (%zu resumed, %zu failed, "
+                 "%zu timed out; shard %u/%u)%s\n",
+                 spec.name.c_str(), ok, exec.outcomes.size(), resumed,
+                 exec.countWith(PointStatus::Failed),
+                 exec.countWith(PointStatus::Timeout), shard.index,
+                 shard.count,
+                 exec.anySimTimeout() ? " [SIM TIMEOUT]" : "");
+    for (const PointOutcome &o : exec.outcomes) {
+        if (o.status != PointStatus::Ok) {
+            std::fprintf(stderr, "  point %zu %s: %s after %u "
+                         "attempt(s): %s\n",
+                         o.index, o.id.c_str(),
+                         pointStatusName(o.status), o.attempts,
+                         o.detail.c_str());
+        }
+    }
+    if (!exec.complete()) {
+        if (flags.requireComplete) {
+            std::fprintf(stderr,
+                         "skybyte_sweep: incomplete sweep with "
+                         "--require-complete\n");
+            return 6;
+        }
+        return 5;
+    }
+    return exec.anySimTimeout() ? 3 : 0;
 }
 
 int
 runSweepCmd(const std::string &name, const std::string &shard_arg,
-            std::string out_path, int nthreads)
+            std::string out_path, int nthreads, const RunFlags &flags)
 {
     const SweepSpec *spec = findSweep(name);
     if (spec == nullptr) {
@@ -110,14 +231,11 @@ runSweepCmd(const std::string &name, const std::string &shard_arg,
     }
     const ShardSpec shard =
         shard_arg.empty() ? shardFromEnv() : parseShard(shard_arg);
-    if (out_path.empty()) {
-        out_path = name;
-        if (shard.count > 1) {
-            out_path += ".shard" + std::to_string(shard.index) + "_"
-                        + std::to_string(shard.count);
-        }
-        out_path += ".json";
-    }
+    if (out_path.empty())
+        out_path = defaultOutPath(name, shard);
+
+    if (!flags.runDir.empty())
+        return runIsolated(*spec, shard, out_path, nthreads, flags);
 
     const ExperimentOptions opt = spec->optionsFromEnv();
     const SweepExecution exec =
@@ -147,16 +265,12 @@ runSweepCmd(const std::string &name, const std::string &shard_arg,
 SweepReport
 readReportFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        throw std::runtime_error("cannot open report: " + path);
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    return parseSweepReport(buf.str());
+    return parseSweepReport(readFileText(path));
 }
 
 int
-mergeCmd(const std::vector<std::string> &paths, std::string out_path)
+mergeCmd(const std::vector<std::string> &paths, std::string out_path,
+         bool require_complete)
 {
     std::vector<SweepReport> shards;
     shards.reserve(paths.size());
@@ -166,6 +280,13 @@ mergeCmd(const std::vector<std::string> &paths, std::string out_path)
     if (out_path.empty())
         out_path = merged.sweep + ".json";
     writeReport(merged, out_path);
+    if (!merged.failures.empty()) {
+        std::fprintf(stderr,
+                     "%s: merged report is partial (%zu failed "
+                     "point(s))\n",
+                     merged.sweep.c_str(), merged.failures.size());
+        return require_complete ? 6 : 5;
+    }
     return 0;
 }
 
@@ -208,6 +329,7 @@ main(int argc, char **argv)
     std::vector<std::string> merge_paths;
     int nthreads = 0;
     double tol_pct = 0.0;
+    RunFlags flags;
 
     try {
         for (int i = 1; i < argc; ++i) {
@@ -234,6 +356,19 @@ main(int argc, char **argv)
                 tol_pct = std::stod(next());
             } else if (arg == "--shard") {
                 shard_arg = next();
+            } else if (arg == "--run-dir") {
+                flags.runDir = next();
+            } else if (arg == "--timeout-s") {
+                flags.timeoutSec = std::stod(next());
+            } else if (arg == "--retries") {
+                flags.retries =
+                    static_cast<std::uint32_t>(std::stoul(next()));
+            } else if (arg == "--backoff-ms") {
+                flags.backoffMs = std::stol(next());
+            } else if (arg == "--resume") {
+                flags.resume = true;
+            } else if (arg == "--require-complete") {
+                flags.requireComplete = true;
             } else if (arg == "-o" || arg == "--output") {
                 out_path = next();
             } else if (arg == "-j" || arg == "--nthreads") {
@@ -251,22 +386,32 @@ main(int argc, char **argv)
         if (mode.empty())
             throw std::invalid_argument("pick one of --list/--points/"
                                         "--run/--merge/--diff");
+        if (flags.runDir.empty()
+            && (flags.resume || flags.retries != 0
+                || flags.timeoutSec != 0.0)) {
+            throw std::invalid_argument(
+                "--resume/--retries/--timeout-s need --run-dir");
+        }
 
         if (mode == "list")
             return listSweeps();
         if (mode == "points")
             return listPoints(name);
         if (mode == "run")
-            return runSweepCmd(name, shard_arg, out_path, nthreads);
+            return runSweepCmd(name, shard_arg, out_path, nthreads,
+                               flags);
         if (mode == "diff")
             return diffCmd(merge_paths, tol_pct);
         if (merge_paths.empty())
             throw std::invalid_argument("--merge needs report files");
-        return mergeCmd(merge_paths, out_path);
+        return mergeCmd(merge_paths, out_path, flags.requireComplete);
     } catch (const std::invalid_argument &e) {
         std::fprintf(stderr, "skybyte_sweep: %s\n", e.what());
         usage();
         return 1;
+    } catch (const RunDirError &e) {
+        std::fprintf(stderr, "skybyte_sweep: %s\n", e.what());
+        return 6;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "skybyte_sweep: %s\n", e.what());
         return 2;
