@@ -27,11 +27,12 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "common/event_queue.h"
+#include "common/fs.h"
 #include "support.h"
 
 using namespace skybyte;
@@ -178,22 +179,25 @@ main(int argc, char **argv)
     if (!json_path.empty()) {
         // Machine-readable events/sec per (kernel, scenario): the CI
         // bench job archives this per commit so the perf trajectory
-        // accumulates alongside BENCH_request_path.json.
-        std::ofstream out(json_path);
-        if (out) {
-            out << "{\n  \"bench\": \"kernel_hotpath\",\n"
-                << "  \"unit\": \"events_per_sec\",\n  \"scenarios\": {\n";
-            int i = 0;
-            for (const char *scenario : {"near", "spread", "mixed"}) {
-                out << "    \"" << scenario << "\": {\"calendar\": "
-                    << g_evps[{"calendar", scenario}] << ", \"legacy\": "
-                    << g_evps[{"legacy", scenario}] << "}"
-                    << (++i < 3 ? ",\n" : "\n");
-            }
-            out << "  },\n  \"speedup_geomean\": " << geomean << "\n}\n";
+        // accumulates alongside BENCH_request_path.json. Committed
+        // temp+rename like every other report writer.
+        std::ostringstream out;
+        out << "{\n  \"bench\": \"kernel_hotpath\",\n"
+            << "  \"unit\": \"events_per_sec\",\n  \"scenarios\": {\n";
+        int i = 0;
+        for (const char *scenario : {"near", "spread", "mixed"}) {
+            out << "    \"" << scenario << "\": {\"calendar\": "
+                << g_evps[{"calendar", scenario}] << ", \"legacy\": "
+                << g_evps[{"legacy", scenario}] << "}"
+                << (++i < 3 ? ",\n" : "\n");
+        }
+        out << "  },\n  \"speedup_geomean\": " << geomean << "\n}\n";
+        try {
+            skybyte::writeFileAtomic(json_path, out.str());
             std::fprintf(stderr, "wrote %s\n", json_path.c_str());
-        } else {
-            std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "cannot write %s: %s\n",
+                         json_path.c_str(), e.what());
         }
     }
     // Nonzero exit makes the CI smoke step fail with the gate; the

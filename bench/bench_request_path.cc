@@ -29,10 +29,11 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 
+#include "common/fs.h"
 #include "core/ssd_controller.h"
 #include "support.h"
 
@@ -250,11 +251,7 @@ const std::pair<const char *, ScenarioFn> kScenarios[] = {
 void
 writeJsonReport(const std::string &path, double geomean)
 {
-    std::ofstream out(path);
-    if (!out) {
-        std::fprintf(stderr, "cannot open %s\n", path.c_str());
-        return;
-    }
+    std::ostringstream out;
     out << "{\n  \"bench\": \"request_path\",\n  \"unit\": "
         << "\"requests_per_sec\",\n  \"scenarios\": {\n";
     std::size_t i = 0;
@@ -264,7 +261,13 @@ writeJsonReport(const std::string &path, double geomean)
             << (++i < std::size(kScenarios) ? ",\n" : "\n");
     }
     out << "  },\n  \"geomean\": " << geomean << "\n}\n";
-    std::fprintf(stderr, "wrote %s\n", path.c_str());
+    try {
+        skybyte::writeFileAtomic(path, out.str());
+        std::fprintf(stderr, "wrote %s\n", path.c_str());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                     e.what());
+    }
 }
 
 } // namespace

@@ -16,6 +16,7 @@ SsdController::SsdController(const SimConfig &cfg, EventQueue &eq,
       cache_(cfg.ssdCache.dataCacheBytes, cfg.ssdCache.dataCacheWays)
 {
     if (cfg.policy.writeLogEnable) {
+        // skybyte-lint: allow(hot-path-alloc) one-time construction; steady-state appends reuse the log's own slabs
         log_ = std::make_unique<WriteLog>(
             cfg.ssdCache.writeLogBytes,
             cfg.ssdCache.logIndexInitialEntries,

@@ -134,7 +134,7 @@ SetAssocCache::clear()
 bool
 MshrFile::contains(Addr line_addr) const
 {
-    return inFlight_.count(line_addr) != 0;
+    return inFlight_.contains(line_addr);
 }
 
 bool
@@ -142,7 +142,7 @@ MshrFile::allocate(Addr line_addr)
 {
     if (full() || contains(line_addr))
         return false;
-    inFlight_.insert(line_addr);
+    inFlight_.tryEmplace(line_addr, 1);
     return true;
 }
 

@@ -9,10 +9,10 @@
 #define SKYBYTE_CPU_CACHE_H
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "common/config.h"
+#include "common/flat_map.h"
 #include "common/types.h"
 
 namespace skybyte {
@@ -129,7 +129,8 @@ class MshrFile
 
   private:
     std::uint32_t capacity_;
-    std::unordered_set<Addr> inFlight_;
+    /** Membership-only set of in-flight lines (never iterated). */
+    FlatMap<unsigned char> inFlight_;
 };
 
 } // namespace skybyte

@@ -16,9 +16,8 @@ Uncore::load(const std::shared_ptr<MissStatus> &status, Tick when)
         return UncoreLoadResult::HitL3;
 
     llcMisses_++;
-    auto it = inFlight_.find(line);
-    if (it != inFlight_.end()) {
-        it->second.push_back(status);
+    if (auto *waiters = inFlight_.find(line)) {
+        waiters->push_back(status);
         llcCoalesced_++;
         return UncoreLoadResult::Pending;
     }
@@ -55,11 +54,17 @@ Uncore::writebackToL3(Addr line_addr, LineValue value, Tick when)
 void
 Uncore::onResponse(Addr line_addr, const MemResponse &resp)
 {
-    auto node = inFlight_.extract(line_addr);
+    // Detach the waiter list before completing anyone: a completion
+    // callback may re-enter load() and mutate the table.
+    std::vector<std::shared_ptr<MissStatus>> waiters;
+    if (auto *entry = inFlight_.find(line_addr)) {
+        waiters = std::move(*entry);
+        inFlight_.erase(line_addr);
+    }
     mshrs_.release(line_addr);
     const Tick now = eq_.now();
 
-    if (node.empty()) {
+    if (waiters.empty()) {
         wakeBlockedCores();
         return;
     }
@@ -73,7 +78,7 @@ Uncore::onResponse(Addr line_addr, const MemResponse &resp)
             wb.value = res.victimValue;
             backend_.write(wb, now);
         }
-        for (auto &st : node.mapped()) {
+        for (auto &st : waiters) {
             st->value = resp.value;
             offchip_.record(now - st->issuedAt);
             if (st->owner != nullptr) {
@@ -84,7 +89,7 @@ Uncore::onResponse(Addr line_addr, const MemResponse &resp)
             }
         }
     } else {
-        for (auto &st : node.mapped()) {
+        for (auto &st : waiters) {
             if (st->owner != nullptr)
                 st->owner->onMissHint(st, now);
             else

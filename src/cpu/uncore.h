@@ -10,10 +10,10 @@
 #define SKYBYTE_CPU_UNCORE_H
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/event_queue.h"
+#include "common/flat_map.h"
 #include "common/stats.h"
 #include "cpu/cache.h"
 #include "cpu/mem_backend.h"
@@ -87,8 +87,7 @@ class Uncore
     MemoryBackend &backend_;
     SetAssocCache l3_;
     MshrFile mshrs_;
-    std::unordered_map<Addr, std::vector<std::shared_ptr<MissStatus>>>
-        inFlight_;
+    FlatMap<std::vector<std::shared_ptr<MissStatus>>> inFlight_;
     std::vector<Core *> cores_;
     LatencyHistogram offchip_;
     std::uint64_t llcMisses_ = 0;

@@ -72,12 +72,12 @@ CxlTagTable::allocate(const CxlMessage &request)
     }
     // Linear probe from the rolling cursor: the previous transaction's
     // tag is usually free again by the time the counter wraps.
-    while (inFlight_.count(next_) != 0)
+    while (inFlight_.contains(next_))
         next_++;
     const std::uint16_t tag = next_++;
     CxlMessage tracked = request;
     tracked.tag = tag;
-    inFlight_.emplace(tag, tracked);
+    inFlight_.tryEmplace(tag, tracked);
     stats_.allocated++;
     return tag;
 }
@@ -85,20 +85,19 @@ CxlTagTable::allocate(const CxlMessage &request)
 const CxlMessage *
 CxlTagTable::find(std::uint16_t tag) const
 {
-    auto it = inFlight_.find(tag);
-    return it == inFlight_.end() ? nullptr : &it->second;
+    return inFlight_.find(tag);
 }
 
 std::optional<CxlMessage>
 CxlTagTable::complete(std::uint16_t tag)
 {
-    auto it = inFlight_.find(tag);
-    if (it == inFlight_.end()) {
+    const CxlMessage *entry = inFlight_.find(tag);
+    if (entry == nullptr) {
         stats_.unknownTagResponses++;
         return std::nullopt;
     }
-    CxlMessage request = it->second;
-    inFlight_.erase(it);
+    CxlMessage request = *entry;
+    inFlight_.erase(tag);
     stats_.completed++;
     return request;
 }

@@ -25,8 +25,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 #include "cxl/cxl.h"
 
@@ -101,7 +101,7 @@ class CxlTagTable
   private:
     std::uint32_t capacity_;
     std::uint16_t next_ = 0;
-    std::unordered_map<std::uint16_t, CxlMessage> inFlight_;
+    FlatMap<CxlMessage> inFlight_;
     CxlTagStats stats_;
 };
 

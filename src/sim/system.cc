@@ -1,8 +1,8 @@
 #include "sim/system.h"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "trace/mix_workload.h"
 
 namespace skybyte {
@@ -224,7 +224,7 @@ System::warmupSsd(Workload &warm_ref)
     for (int t = 0; t < warm->numThreads(); ++t)
         cursors.emplace_back(*warm, t);
 
-    std::unordered_map<std::uint64_t, std::uint64_t> last_touch;
+    FlatMap<std::uint64_t> last_touch;
     std::uint64_t seq = 0;
     std::uint64_t budget = 2'000'000;
     TraceRecord rec;
@@ -244,8 +244,13 @@ System::warmupSsd(Workload &warm_ref)
         }
     }
 
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> pages(
-        last_touch.begin(), last_touch.end());
+    // Slot order is arbitrary; the sort below by (unique) touch seq
+    // fixes the fill order, so results are identical either way.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pages;
+    pages.reserve(last_touch.size());
+    last_touch.forEach([&](std::uint64_t lpn, std::uint64_t s) {
+        pages.emplace_back(lpn, s);
+    });
     std::sort(pages.begin(), pages.end(),
               [](const auto &a, const auto &b) {
                   return a.second < b.second;

@@ -23,6 +23,7 @@ static_assert(sizeof(FileHeader) == 24);
 std::uint64_t
 writeTraceFile(const std::string &path, Workload &workload)
 {
+    // skybyte-lint: allow(raw-file-write) streamed multi-GB trace artifact, regenerable from its spec; buffering it for temp+rename is infeasible
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
         throw std::runtime_error("cannot open trace file: " + path);

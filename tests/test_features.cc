@@ -148,8 +148,9 @@ TEST(HugePages, EndToEndRunCompletesAndMigratesRegions)
     EXPECT_GT(res.committedInstructions, 0u);
     // Promotions are counted per region; every promotion moved 16
     // pages, so the host share of traffic should be visible.
-    if (res.promotions > 0)
+    if (res.promotions > 0) {
         EXPECT_GT(res.hostReads + res.hostWrites, 0u);
+    }
 }
 
 TEST(HugePages, SameWorkRegardlessOfGranularity)

@@ -131,8 +131,9 @@ TEST(MixThreadAssignment, RoundRobinProperty)
             }
             SCOPED_TRACE("total=" + std::to_string(total));
             for (std::size_t i = 0; i < requested.size(); ++i) {
-                if (requested[i] >= 0)
+                if (requested[i] >= 0) {
                     EXPECT_EQ(counts[i], requested[i]);
+                }
                 EXPECT_GE(counts[i], 1);
             }
             const std::vector<int> assignment =
@@ -155,8 +156,9 @@ TEST(MixThreadAssignment, RoundRobinProperty)
                         hi = std::max(hi, seen[k]);
                     }
                 }
-                if (lo != INT32_MAX)
+                if (lo != INT32_MAX) {
                     EXPECT_LE(hi - lo, 1);
+                }
             }
             for (std::size_t k = 0; k < counts.size(); ++k)
                 EXPECT_EQ(seen[k], counts[k]);

@@ -66,8 +66,9 @@ TEST(FlatMap, MatchesUnorderedMapOracle)
             const std::uint64_t *v = map.find(key);
             auto it = oracle.find(key);
             ASSERT_EQ(v != nullptr, it != oracle.end());
-            if (v != nullptr)
+            if (v != nullptr) {
                 EXPECT_EQ(*v, it->second);
+            }
           }
         }
         ASSERT_EQ(map.size(), oracle.size());

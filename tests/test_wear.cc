@@ -70,8 +70,9 @@ TEST(Wear, WriteAmplificationAtLeastOneAndGrowsWithGc)
     const double late = ftl.writeAmplification();
     EXPECT_GE(late, early - 1e-9);
     // Relocations happened, so amplification is strictly above 1.
-    if (ftl.stats().gcPageMoves > 0)
+    if (ftl.stats().gcPageMoves > 0) {
         EXPECT_GT(late, 1.0);
+    }
 }
 
 TEST(Wear, FreshDeviceHasZeroWear)
