@@ -83,32 +83,75 @@ readFileText(const std::string &path)
 void
 writeFileAtomic(const std::string &path, const std::string &text)
 {
+    AtomicFileWriter out(path);
+    out.write(text.data(), text.size());
+    out.commit();
+}
+
+AtomicFileWriter::AtomicFileWriter(const std::string &path)
+    : path_(path)
+{
     // The temporary must live in the target directory: rename() is
     // only atomic within one filesystem.
     std::string tmpl = dirnameOf(path) + "/." + basenameOf(path)
                        + ".tmp.XXXXXX";
     std::vector<char> tmp(tmpl.begin(), tmpl.end());
     tmp.push_back('\0');
-    const int fd = ::mkstemp(tmp.data());
-    if (fd < 0)
+    fd_ = ::mkstemp(tmp.data());
+    if (fd_ < 0)
         throwErrno("cannot create temp file for", path);
-    const std::string tmp_path(tmp.data());
+    tmpPath_.assign(tmp.data());
+}
+
+AtomicFileWriter::~AtomicFileWriter() { abort(); }
+
+void
+AtomicFileWriter::write(const void *data, std::size_t size)
+{
+    if (fd_ < 0) {
+        throw std::runtime_error("write after commit/abort: " + path_);
+    }
     try {
-        writeAll(fd, text.data(), text.size(), tmp_path);
-        if (::fsync(fd) != 0)
-            throwErrno("cannot fsync", tmp_path);
-        if (::close(fd) != 0)
-            throwErrno("cannot close", tmp_path);
+        writeAll(fd_, static_cast<const char *>(data), size, tmpPath_);
     } catch (...) {
-        ::close(fd);
-        ::unlink(tmp_path.c_str());
+        abort();
         throw;
     }
-    if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
-        const int saved = errno;
-        ::unlink(tmp_path.c_str());
-        errno = saved;
-        throwErrno("cannot rename into", path);
+    written_ += size;
+}
+
+void
+AtomicFileWriter::commit()
+{
+    if (fd_ < 0)
+        return;
+    try {
+        if (::fsync(fd_) != 0)
+            throwErrno("cannot fsync", tmpPath_);
+        if (::close(fd_) != 0) {
+            fd_ = -1;
+            throwErrno("cannot close", tmpPath_);
+        }
+        fd_ = -1;
+        if (::rename(tmpPath_.c_str(), path_.c_str()) != 0)
+            throwErrno("cannot rename into", path_);
+    } catch (...) {
+        abort();
+        throw;
+    }
+    tmpPath_.clear();
+}
+
+void
+AtomicFileWriter::abort() noexcept
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    if (!tmpPath_.empty()) {
+        ::unlink(tmpPath_.c_str());
+        tmpPath_.clear();
     }
 }
 

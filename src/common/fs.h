@@ -11,6 +11,8 @@
 #ifndef SKYBYTE_COMMON_FS_H
 #define SKYBYTE_COMMON_FS_H
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace skybyte {
@@ -48,6 +50,48 @@ void ensureDirs(const std::string &path);
  * @throws std::runtime_error on any I/O failure.
  */
 void appendLine(const std::string &path, const std::string &line);
+
+/**
+ * Streaming variant of writeFileAtomic() for artifacts too large to
+ * buffer whole (multi-GB trace captures): bytes stream to a temporary
+ * in the target directory and commit() fsyncs and renames it over the
+ * destination, so a reader — including one racing a crash — sees
+ * either the previous file or the complete new one, never a prefix.
+ * A writer destroyed without commit() removes its temporary.
+ */
+class AtomicFileWriter
+{
+  public:
+    /** @throws std::runtime_error when the temporary cannot be made. */
+    explicit AtomicFileWriter(const std::string &path);
+
+    ~AtomicFileWriter();
+
+    AtomicFileWriter(const AtomicFileWriter &) = delete;
+    AtomicFileWriter &operator=(const AtomicFileWriter &) = delete;
+
+    /** Append @p size bytes. @throws std::runtime_error on failure. */
+    void write(const void *data, std::size_t size);
+
+    /** Bytes written so far (= current file offset). */
+    std::uint64_t bytesWritten() const { return written_; }
+
+    /**
+     * Flush, fsync and rename the temporary over the destination.
+     * No-op if already committed.
+     * @throws std::runtime_error on failure (the temp is removed).
+     */
+    void commit();
+
+    /** Remove the temporary without committing (idempotent). */
+    void abort() noexcept;
+
+  private:
+    std::string path_;
+    std::string tmpPath_;
+    int fd_ = -1;
+    std::uint64_t written_ = 0;
+};
 
 } // namespace skybyte
 

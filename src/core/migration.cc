@@ -21,6 +21,25 @@ MigrationEngine::MigrationEngine(const SimConfig &cfg, EventQueue &eq,
     }
 }
 
+MigrationEngine::~MigrationEngine()
+{
+    // The slab frees its chunks wholesale but never runs destructors
+    // for still-live records; each region owns a dirty-page vector, so
+    // drain the survivors explicitly.
+    promoted_.forEach([this](std::uint64_t, PromotedRegion *region) {
+        regionSlab_.release(region);
+    });
+}
+
+void
+MigrationEngine::markDirty(std::vector<std::uint64_t> &pages,
+                           std::uint64_t lpn)
+{
+    const auto it = std::lower_bound(pages.begin(), pages.end(), lpn);
+    if (it == pages.end() || *it != lpn)
+        pages.insert(it, lpn);
+}
+
 PageHome
 MigrationEngine::route(std::uint64_t lpn, std::uint32_t line, Tick now,
                        bool is_write)
@@ -36,7 +55,7 @@ MigrationEngine::route(std::uint64_t lpn, std::uint32_t line, Tick now,
         // Either way the write only survives in the host copy once the
         // migration completes (the SSD drops its log/cache state), so
         // the page must demote dirty later.
-        migratingDirty_[entry->baseLpn].insert(lpn);
+        markDirty(migratingDirty_[entry->baseLpn], lpn);
         if (entry->lineMigrated(chunk, line)) {
             migStats_.inflightWriteRedirects++;
             return PageHome::Host;
@@ -44,18 +63,18 @@ MigrationEngine::route(std::uint64_t lpn, std::uint32_t line, Tick now,
         return PageHome::Ssd; // copy of this line picks the write up
     }
     const std::uint64_t base = regionBase(lpn);
-    auto it = promoted_.find(base);
-    if (it != promoted_.end()) {
-        it->second.lastUse = now;
+    if (PromotedRegion *const *slot = promoted_.find(base)) {
+        PromotedRegion &region = **slot;
+        region.lastUse = now;
         if (is_write)
-            it->second.dirtyPages.insert(lpn);
+            markDirty(region.dirtyPages, lpn);
         // Per-access recency upkeep for whichever structure the active
         // reclaim policy consults for victims; the unused one only
         // needs the unlink-on-demote invariant, not fresh order.
         if (cfg_.hostMem.reclaim == ReclaimPolicy::ActiveInactive)
             lists_.touch(base, now);
         else
-            lruTouch(it->second);
+            lruTouch(region);
         return PageHome::Host;
     }
     return PageHome::Ssd;
@@ -68,7 +87,7 @@ MigrationEngine::onHotPage(std::uint64_t lpn, Tick now)
     // Pinned pages stay on the device for persistence (§IV).
     if (regionPinned(base))
         return true; // latch: never a candidate
-    if (promoted_.count(base) != 0 || plb_.find(lpn) != nullptr)
+    if (promoted_.contains(base) || plb_.find(lpn) != nullptr)
         return true; // already handled; latch it
     if (plb_.full()) {
         migStats_.rejectedPlbFull++;
@@ -93,7 +112,7 @@ MigrationEngine::onSsdAccess(std::uint64_t lpn, Tick now)
     const std::uint64_t base = regionBase(lpn);
     if (regionPinned(base))
         return; // pinned for persistence (§IV)
-    if (promoted_.count(base) != 0 || plb_.find(lpn) != nullptr)
+    if (promoted_.contains(base) || plb_.find(lpn) != nullptr)
         return;
     // NUMA-hint-fault style sampling: 1/16 of accesses are observed.
     if (!rng_.chance(1.0 / 16.0))
@@ -200,8 +219,10 @@ MigrationEngine::finishMigration(std::uint64_t base)
     eq_.schedule(t_done, [this, base, huge] {
         const Tick now = eq_.now();
         plb_.release(base);
-        auto [it, inserted] = promoted_.try_emplace(base);
-        PromotedRegion &region = it->second;
+        auto [slot, inserted] = promoted_.tryEmplace(base, nullptr);
+        if (inserted)
+            *slot = regionSlab_.alloc();
+        PromotedRegion &region = **slot;
         if (!inserted) {
             // Defensive: re-promotion of a live base (unreachable while
             // route()/promote() guard on promoted_). Match the seed's
@@ -212,10 +233,10 @@ MigrationEngine::finishMigration(std::uint64_t base)
         }
         region.lastUse = now;
         region.base = base;
-        auto dirty = migratingDirty_.find(base);
-        if (dirty != migratingDirty_.end()) {
-            region.dirtyPages = std::move(dirty->second);
-            migratingDirty_.erase(dirty);
+        if (std::vector<std::uint64_t> *dirty =
+                migratingDirty_.find(base)) {
+            region.dirtyPages = std::move(*dirty);
+            migratingDirty_.erase(base);
         }
         lruInsertByLastUse(region);
         for (std::uint32_t p = 0; p < regionPages_; ++p)
@@ -299,19 +320,23 @@ MigrationEngine::demoteColdest(Tick now, Tick min_idle)
 void
 MigrationEngine::demoteRegion(std::uint64_t base, Tick now)
 {
-    auto it = promoted_.find(base);
-    if (it == promoted_.end())
+    PromotedRegion *const *slot = promoted_.find(base);
+    if (slot == nullptr)
         return;
-    lruUnlink(it->second);
+    PromotedRegion *region = *slot;
+    lruUnlink(*region);
     // Copy the host copy back into fresh SSD pages (§III-C eviction).
     // Clean pages need no copy at all: flash still holds their data.
-    for (std::uint64_t lpn : it->second.dirtyPages) {
+    // dirtyPages is sorted, so the copy-back order is the ascending
+    // page order regardless of the order the writes arrived in.
+    for (std::uint64_t lpn : region->dirtyPages) {
         PageData data{};
         for (std::uint32_t off = 0; off < kLinesPerPage; ++off)
             data[off] = hostDram_.peek(hostKeyOf(lpn, off));
         ssd_.writePageFromHost(lpn, data, now);
     }
-    promoted_.erase(it);
+    promoted_.erase(base);
+    regionSlab_.release(region);
     if (cfg_.hostMem.reclaim == ReclaimPolicy::ActiveInactive)
         lists_.erase(base); // no-op when chosen via selectVictim
 

@@ -31,12 +31,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "common/config.h"
 #include "common/event_queue.h"
+#include "common/flat_map.h"
 #include "common/rng.h"
+#include "common/slab.h"
 #include "core/plb.h"
 #include "core/reclaim.h"
 #include "core/ssd_controller.h"
@@ -69,6 +70,8 @@ class MigrationEngine
     MigrationEngine(const SimConfig &cfg, EventQueue &eq,
                     SsdController &ssd, DramModel &host_dram,
                     CxlLink &link);
+
+    ~MigrationEngine();
 
     /** Hook charging TLB-shootdown cost to every core. */
     void
@@ -109,7 +112,7 @@ class MigrationEngine
     }
     bool isPromoted(std::uint64_t lpn) const
     {
-        return promoted_.count(regionBase(lpn)) != 0;
+        return promoted_.contains(regionBase(lpn));
     }
     const MigrationStats &stats() const { return migStats_; }
     const Plb &plb() const { return plb_; }
@@ -124,8 +127,9 @@ class MigrationEngine
      * interleave non-monotonically across core quanta, so a touched
      * node is re-inserted by a backward walk from the tail; the input
      * is nearly sorted (displacement bounded by quantum interleaving),
-     * making the walk amortized O(1). Node addresses are stable:
-     * unordered_map never relocates its elements.
+     * making the walk amortized O(1). Node addresses are stable: nodes
+     * live in regionSlab_ (chunks are never freed or compacted), and
+     * promoted_ only stores pointers, so its rehashes are harmless.
      */
     struct PromotedRegion
     {
@@ -133,9 +137,14 @@ class MigrationEngine
         std::uint64_t base = 0;
         PromotedRegion *lruPrev = nullptr;
         PromotedRegion *lruNext = nullptr;
-        /** Pages written while promoted (need copy-back on demotion). */
-        std::unordered_set<std::uint64_t> dirtyPages;
+        /** Pages written while promoted (need copy-back on demotion):
+         *  sorted and unique, so demotion copy-back walks ascending. */
+        std::vector<std::uint64_t> dirtyPages;
     };
+
+    /** Record @p lpn in a sorted-unique dirty-page list. */
+    static void markDirty(std::vector<std::uint64_t> &pages,
+                          std::uint64_t lpn);
 
     /** Detach @p region from the recency list. */
     void lruUnlink(PromotedRegion &region);
@@ -212,13 +221,15 @@ class MigrationEngine
     std::uint32_t regionPages_ = 1;
     Plb plb_;
     ActiveInactiveLists lists_;
-    std::unordered_map<std::uint64_t, PromotedRegion> promoted_;
+    /** Backing store for PromotedRegion nodes (stable addresses). */
+    Slab<PromotedRegion> regionSlab_;
+    FlatMap<PromotedRegion *> promoted_;
     PromotedRegion *lruHead_ = nullptr; ///< coldest promoted region
     PromotedRegion *lruTail_ = nullptr; ///< hottest promoted region
-    /** Pages dirtied by redirected writes while their region migrates. */
-    std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
-        migratingDirty_;
-    std::unordered_map<std::uint64_t, std::uint32_t> tppScores_;
+    /** Pages dirtied by redirected writes while their region migrates
+     *  (sorted-unique, same invariant as PromotedRegion::dirtyPages). */
+    FlatMap<std::vector<std::uint64_t>> migratingDirty_;
+    FlatMap<std::uint32_t> tppScores_;
     MigrationStats migStats_;
 };
 

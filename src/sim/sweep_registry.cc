@@ -503,6 +503,18 @@ registerBuiltinSweeps()
          "mix:chase=ptrchase:footprint=8M,chain=16,threads=2;"
          "oltp=tpcc:footprint=16M"},
         {"Base-CSSD", "SkyByte-W", "SkyByte-Full"}, 4'000));
+
+    // Trace-capture replay: the workload axis is a tracelog: spec
+    // pointing at a file the runner materializes first (skybyte_
+    // tracegen / tracepack). The spec replays either encoding by
+    // magic, so CI runs this sweep against a flat capture, rewrites
+    // the same path as STRC, reruns, and `skybyte_sweep --diff`
+    // proves the two reports byte-identical.
+    registerSweepUnlocked(variantGrid(
+        "tracereplay",
+        "replay a trace capture (flat or STRC) at ./replay.trace",
+        {"tracelog:path=replay.trace"},
+        {"Base-CSSD", "SkyByte-Full"}, 4'000));
 }
 
 } // namespace detail

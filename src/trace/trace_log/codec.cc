@@ -1,0 +1,234 @@
+#include "trace/trace_log/codec.h"
+
+#include <array>
+#include <cstring>
+
+namespace skybyte {
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t
+getVarint(const std::uint8_t *data, std::size_t size, std::size_t &pos)
+{
+    std::uint64_t value = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        if (pos >= size)
+            throw TraceLogError("truncated varint");
+        const std::uint8_t byte = data[pos++];
+        // Byte 10 encodes at most the top u64 bit: anything else would
+        // silently wrap a 64-bit value.
+        if (shift == 63 && (byte & ~1u) != 0)
+            throw TraceLogError("varint overflows 64 bits");
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return value;
+    }
+    throw TraceLogError("varint longer than 10 bytes");
+}
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256>
+crcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    static constexpr std::array<std::uint32_t, 256> kTable = crcTable();
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = kTable[(c ^ bytes[i]) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 0xffff;
+constexpr unsigned kHashBits = 13;
+
+inline std::uint32_t
+read32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+inline std::uint32_t
+hash4(std::uint32_t v)
+{
+    return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/** Emit one count in the token's nibble-plus-extensions encoding. */
+void
+putCount(std::vector<std::uint8_t> &out, std::size_t count)
+{
+    // The nibble itself was already written by the caller; this only
+    // appends the extension bytes for counts >= 15.
+    if (count < 15)
+        return;
+    count -= 15;
+    while (count >= 255) {
+        out.push_back(255);
+        count -= 255;
+    }
+    out.push_back(static_cast<std::uint8_t>(count));
+}
+
+void
+emitSequence(std::vector<std::uint8_t> &out, const std::uint8_t *lit,
+             std::size_t lit_len, std::size_t offset,
+             std::size_t match_len)
+{
+    const std::size_t lit_code = lit_len < 15 ? lit_len : 15;
+    const std::size_t match_code =
+        match_len == 0 ? 0
+                       : (match_len - kMinMatch < 15
+                              ? match_len - kMinMatch
+                              : 15);
+    out.push_back(static_cast<std::uint8_t>((lit_code << 4)
+                                            | match_code));
+    putCount(out, lit_len);
+    out.insert(out.end(), lit, lit + lit_len);
+    if (match_len == 0)
+        return; // final literals-only sequence
+    out.push_back(static_cast<std::uint8_t>(offset & 0xff));
+    out.push_back(static_cast<std::uint8_t>(offset >> 8));
+    putCount(out, match_len - kMinMatch);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+slzCompress(const std::uint8_t *data, std::size_t size)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(size / 2 + 16);
+    // Positions of previously seen 4-byte sequences, keyed by hash.
+    // ~0 marks an empty slot; stale entries are verified before use.
+    std::vector<std::size_t> table(std::size_t{1} << kHashBits,
+                                   ~std::size_t{0});
+    std::size_t lit_start = 0;
+    std::size_t pos = 0;
+    // The last kMinMatch bytes can never start a match; always emit
+    // them as literals so the decoder's end condition is exact.
+    while (size >= kMinMatch && pos + kMinMatch <= size) {
+        const std::uint32_t seq = read32(data + pos);
+        const std::uint32_t h = hash4(seq);
+        const std::size_t cand = table[h];
+        table[h] = pos;
+        if (cand == ~std::size_t{0} || pos - cand > kMaxOffset
+            || read32(data + cand) != seq) {
+            ++pos;
+            continue;
+        }
+        std::size_t len = kMinMatch;
+        while (pos + len < size && data[cand + len] == data[pos + len])
+            ++len;
+        emitSequence(out, data + lit_start, pos - lit_start, pos - cand,
+                     len);
+        pos += len;
+        lit_start = pos;
+    }
+    // Trailing literals, if any. When a match consumed the input
+    // exactly, the stream simply ends — the decoder stops at raw_size.
+    if (lit_start < size)
+        emitSequence(out, data + lit_start, size - lit_start, 0, 0);
+    return out;
+}
+
+namespace {
+
+std::size_t
+getCount(const std::uint8_t *data, std::size_t size, std::size_t &pos,
+         std::size_t nibble)
+{
+    std::size_t count = nibble;
+    if (nibble != 15)
+        return count;
+    for (;;) {
+        if (pos >= size)
+            throw TraceLogError("truncated SLZ length");
+        const std::uint8_t b = data[pos++];
+        count += b;
+        if (b != 255)
+            return count;
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+slzDecompress(const std::uint8_t *data, std::size_t size,
+              std::size_t raw_size)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(raw_size);
+    std::size_t pos = 0;
+    while (out.size() < raw_size) {
+        if (pos >= size)
+            throw TraceLogError("truncated SLZ stream");
+        const std::uint8_t token = data[pos++];
+        const std::size_t lit_len =
+            getCount(data, size, pos, token >> 4);
+        if (lit_len > size - pos)
+            throw TraceLogError("SLZ literal run past input end");
+        if (lit_len > raw_size - out.size())
+            throw TraceLogError("SLZ literal run past declared size");
+        out.insert(out.end(), data + pos, data + pos + lit_len);
+        pos += lit_len;
+        if (out.size() == raw_size) {
+            // The final sequence is literals-only; trailing bytes
+            // would mean the block header lied about one size.
+            if (pos != size)
+                throw TraceLogError("SLZ stream continues past "
+                                    "declared size");
+            break;
+        }
+        if (pos + 2 > size)
+            throw TraceLogError("truncated SLZ match offset");
+        const std::size_t offset =
+            static_cast<std::size_t>(data[pos])
+            | (static_cast<std::size_t>(data[pos + 1]) << 8);
+        pos += 2;
+        if (offset == 0 || offset > out.size())
+            throw TraceLogError("SLZ match offset out of range");
+        const std::size_t match_len =
+            getCount(data, size, pos, token & 0x0f) + kMinMatch;
+        if (match_len > raw_size - out.size())
+            throw TraceLogError("SLZ match past declared size");
+        // Byte-at-a-time: matches may overlap their own output (the
+        // RLE case offset < length).
+        std::size_t src = out.size() - offset;
+        for (std::size_t i = 0; i < match_len; ++i)
+            out.push_back(out[src + i]);
+    }
+    if (pos != size)
+        throw TraceLogError("SLZ stream continues past declared size");
+    return out;
+}
+
+} // namespace skybyte

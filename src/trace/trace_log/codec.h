@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Self-contained byte codecs for the STRC block trace format
+ * (trace/trace_log/trace_log.h): LEB128 varints with zigzag for the
+ * delta-encoded address column, CRC-32 for per-block and index
+ * integrity, and SLZ — a small LZ77 codec in the LZ4 token idiom
+ * (literal runs + 16-bit-offset matches over a 64 KB window) with no
+ * external dependencies. Compression is deterministic (fixed hash,
+ * greedy matcher), so a capture's bytes are a pure function of the
+ * record stream; decompression is fully bounds-checked and reports
+ * malformed input by throwing, never by over-reading.
+ */
+
+#ifndef SKYBYTE_TRACE_TRACE_LOG_CODEC_H
+#define SKYBYTE_TRACE_TRACE_LOG_CODEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace skybyte {
+
+/** Malformed trace-log bytes (bad magic/CRC/varint/LZ stream/...). */
+class TraceLogError : public std::runtime_error
+{
+  public:
+    explicit TraceLogError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** @name LEB128 varints (zigzag for signed deltas). @{ */
+
+/** Append @p value to @p out as a LEB128 varint (1-10 bytes). */
+void putVarint(std::vector<std::uint8_t> &out, std::uint64_t value);
+
+/**
+ * Decode the varint at @p pos (advanced past it).
+ * @throws TraceLogError on truncation or a >10-byte encoding.
+ */
+std::uint64_t getVarint(const std::uint8_t *data, std::size_t size,
+                        std::size_t &pos);
+
+/** Map a signed delta to an unsigned varint payload (zigzag). */
+inline std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1)
+           ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+/** @} */
+
+/** CRC-32 (IEEE 802.3 polynomial, as in gzip/zip) of @p size bytes. */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+/** @name SLZ: LZ4-style token stream over a 64 KB window.
+ *
+ * A sequence is `token [lit-ext]* literals [offset matchlen-ext*]`:
+ * the token's high nibble is the literal count (15 = extension bytes
+ * follow, each 0-255, 255 continues), the low nibble the match length
+ * minus 4 (same extension rule); `offset` is 16-bit little-endian,
+ * >= 1 and <= bytes decoded so far. The final sequence carries
+ * literals only — the stream ends exactly when the declared raw size
+ * has been produced. @{ */
+
+/** Compress @p size bytes. Output may exceed the input for
+ *  incompressible data; block writers fall back to storing raw. */
+std::vector<std::uint8_t> slzCompress(const std::uint8_t *data,
+                                      std::size_t size);
+
+/**
+ * Decompress exactly @p raw_size bytes.
+ * @throws TraceLogError when the stream is truncated, overruns
+ *         @p raw_size, or references data before the output start.
+ */
+std::vector<std::uint8_t> slzDecompress(const std::uint8_t *data,
+                                        std::size_t size,
+                                        std::size_t raw_size);
+/** @} */
+
+} // namespace skybyte
+
+#endif // SKYBYTE_TRACE_TRACE_LOG_CODEC_H

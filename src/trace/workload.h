@@ -227,6 +227,12 @@ struct WorkloadRegistration
     std::string argHelp;
     /** One of the seven Table I workloads. */
     bool paper = false;
+    /**
+     * Replays an external capture file rather than generating records:
+     * not constructible without arguments and carrying no pinnable
+     * default behaviour, so the registry-sweep tests skip it.
+     */
+    bool replay = false;
     /** Table I metadata (synthetic scenarios carry nominal values). */
     WorkloadInfo info;
     /**

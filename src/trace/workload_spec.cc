@@ -244,6 +244,13 @@ WorkloadSpecArgs::dbl(const std::string &key, double def)
     }
 }
 
+std::string
+WorkloadSpecArgs::str(const std::string &key, const std::string &def)
+{
+    const std::string *value = consume(key);
+    return value == nullptr ? def : *value;
+}
+
 std::uint64_t
 WorkloadSpecArgs::bytes(const std::string &key, std::uint64_t def)
 {

@@ -107,6 +107,8 @@ class WorkloadSpecArgs
     double dbl(const std::string &key, double def);
     /** Byte count accepting K/M/G suffixes (e.g. "8G", "512K"). */
     std::uint64_t bytes(const std::string &key, std::uint64_t def);
+    /** Raw string value (e.g. a file path), @p def when absent. */
+    std::string str(const std::string &key, const std::string &def);
     /** @} */
 
     /** @throws std::invalid_argument listing any unconsumed keys. */

@@ -25,6 +25,7 @@
 
 #include "common/rng.h"
 #include "trace/mix_workload.h"
+#include "trace/trace_log/trace_log_workload.h"
 
 namespace skybyte {
 
@@ -903,6 +904,37 @@ registerBuiltinWorkloads()
                                                 theta, wr, compute);
     };
     insertRegistration(std::move(phased));
+
+    WorkloadRegistration tracelog;
+    tracelog.name = "tracelog";
+    tracelog.summary =
+        "replay a trace capture (STRC streaming or flat, by magic)";
+    tracelog.argHelp = "path=";
+    tracelog.replay = true;
+    tracelog.info = {"replay", 0.0, 0.0, 0.0};
+    tracelog.make = [](WorkloadSpecArgs &args,
+                       const WorkloadParams &) {
+        const std::string path = args.str("path", "");
+        if (path.empty()) {
+            throw std::invalid_argument(
+                "workload tracelog requires path= (a capture from "
+                "skybyte_tracegen or skybyte_tracepack)");
+        }
+        // Thread count, footprint and record streams all come from the
+        // capture itself. The common keys were already consumed by the
+        // generic layer, so reject them here — silently ignoring
+        // threads=4 would run a different experiment than the spec
+        // claims.
+        for (const char *key : {"threads", "instr", "footprint", "seed"}) {
+            if (args.has(key)) {
+                throw std::invalid_argument(
+                    std::string("workload tracelog does not take ") + key
+                    + "= (the capture defines it)");
+            }
+        }
+        return makeTraceReplayWorkload(path);
+    };
+    insertRegistration(std::move(tracelog));
 }
 
 void

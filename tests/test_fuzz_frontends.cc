@@ -1,10 +1,10 @@
 /**
  * @file
- * Deterministic garbage-input fuzzing of the three text front ends —
- * workload specs, config files, and sweep reports. Every parser input
- * that crosses a process boundary (CLI flags, config files, report
- * files written by other shards) must fail with an exception, never
- * with a crash, an abort, or an unbounded allocation/loop.
+ * Deterministic garbage-input fuzzing of the inputs that cross a
+ * process boundary — workload specs, config files, sweep reports, and
+ * binary STRC trace captures. Every such parser/decoder must fail
+ * with an exception, never with a crash, an abort, an over-read, or
+ * an unbounded allocation/loop.
  *
  * The fuzzing is seeded byte mutation (replace / insert / delete /
  * truncate) of known-valid inputs, driven by the repo's own xoshiro
@@ -18,9 +18,11 @@
 #include <string>
 #include <vector>
 
+#include "common/fs.h"
 #include "common/rng.h"
 #include "sim/config_file.h"
 #include "sim/report.h"
+#include "trace/trace_log/trace_log.h"
 #include "trace/workload_spec.h"
 
 namespace skybyte {
@@ -152,6 +154,50 @@ TEST(FuzzFrontends, SweepReportsThrowNotCrash)
 
     fuzzInput(valid, 0xbeefULL, 600, [](const std::string &text) {
         parseSweepReport(text);
+    });
+}
+
+TEST(FuzzFrontends, TraceLogDecoderThrowsNotCrash)
+{
+    // A small but real STRC capture: several threads, block-boundary
+    // tails, and address patterns that make some blocks compress and
+    // some store raw — so mutants land in every region of the format
+    // (header, compressed/raw payloads, CRCs, varint index, trailer).
+    const std::string path =
+        ::testing::TempDir() + "/fuzz_corpus.strc";
+    {
+        TraceLogWriter writer(path, "fuzz", 1u << 20, 3,
+                              /*block_records=*/32);
+        Rng rng(0x5eedULL);
+        for (int tid = 0; tid < 3; ++tid) {
+            const int count = 70 + tid * 13; // tails of varied size
+            for (int i = 0; i < count; ++i) {
+                TraceRecord rec{};
+                // Thread 0 strides (compressible deltas); the others
+                // jump randomly (raw blocks survive).
+                rec.vaddr = tid == 0
+                                ? static_cast<std::uint64_t>(i) * 64
+                                : rng.below(1u << 20) * 64;
+                rec.isWrite = (i % 3) == 0;
+                rec.computeOps = static_cast<std::uint32_t>(i % 7);
+                writer.append(tid, rec);
+            }
+        }
+        writer.finish();
+    }
+    const std::string valid = readFileText(path);
+
+    // The decode must visit every byte that can be visited: parse,
+    // then drain all three streams through the seek/next cursor.
+    fuzzInput(valid, 0x57acULL, 600, [](const std::string &text) {
+        TraceLogReader reader(
+            std::vector<std::uint8_t>(text.begin(), text.end()));
+        TraceRecord rec{};
+        for (int tid = 0; tid < reader.numThreads(); ++tid) {
+            reader.seek(tid, 0);
+            while (reader.next(tid, rec)) {
+            }
+        }
     });
 }
 

@@ -10,9 +10,14 @@
  *
  *   skybyte_tracegen -w <workload-spec> -o <path> [-n threads]
  *                    [-i instr-per-thread] [-m footprint-mb] [-s seed]
+ *                    [--format=flat|tracelog] [--block-records=N]
  *
  * <workload-spec> is a registered name, optionally parameterized:
  * "ycsb", "zipf:theta=0.99,footprint=64M", ...
+ *
+ * --format=tracelog writes the seekable compressed STRC format
+ * (trace/trace_log/trace_log.h) instead of the flat SKYTRC01 file;
+ * both replay through the same "tracelog:path=..." workload spec.
  */
 
 #include <cstdio>
@@ -22,6 +27,7 @@
 
 #include "trace/mix_workload.h"
 #include "trace/trace_file.h"
+#include "trace/trace_log/trace_log.h"
 #include "trace/workload.h"
 
 using namespace skybyte;
@@ -37,6 +43,8 @@ usage()
         " [-n threads]\n"
         "                        [-i instr-per-thread] [-m footprint-mb]"
         " [-s seed]\n"
+        "                        [--format=flat|tracelog]"
+        " [--block-records=N]\n"
         "workload specs: name[:key=value,...], e.g."
         " zipf:theta=0.99,footprint=64M\n"
         "co-location:    mix:tenant=spec[;tenant=spec]..., e.g."
@@ -53,6 +61,8 @@ main(int argc, char **argv)
 {
     std::string workload_name;
     std::string out_path;
+    std::string format = "flat";
+    std::uint32_t block_records = kTraceLogDefaultBlockRecords;
     WorkloadParams params;
     params.instrPerThread = 200'000;
 
@@ -78,12 +88,18 @@ main(int argc, char **argv)
                     std::stoull(next()) * 1024 * 1024;
             } else if (arg == "-s") {
                 params.seed = std::stoull(next());
+            } else if (arg.rfind("--format=", 0) == 0) {
+                format = arg.substr(9);
+            } else if (arg.rfind("--block-records=", 0) == 0) {
+                block_records = static_cast<std::uint32_t>(
+                    std::stoul(arg.substr(16)));
             } else {
                 usage();
                 return 2;
             }
         }
-        if (workload_name.empty() || out_path.empty()) {
+        if (workload_name.empty() || out_path.empty()
+            || (format != "flat" && format != "tracelog")) {
             usage();
             return 2;
         }
@@ -97,14 +113,16 @@ main(int argc, char **argv)
                 std::fputs(describeMixTenant(t).c_str(), stdout);
         }
         const std::uint64_t records =
-            writeTraceFile(out_path, *workload);
+            format == "tracelog"
+                ? writeTraceLog(out_path, *workload, block_records)
+                : writeTraceFile(out_path, *workload);
         std::printf("wrote %llu records (%d threads, %s, %.1f MB "
-                    "footprint) to %s\n",
+                    "footprint, %s) to %s\n",
                     static_cast<unsigned long long>(records),
                     workload->numThreads(), workload->name().c_str(),
                     static_cast<double>(workload->footprintBytes())
                         / (1024.0 * 1024.0),
-                    out_path.c_str());
+                    format.c_str(), out_path.c_str());
     } catch (const std::exception &e) {
         std::fprintf(stderr, "skybyte_tracegen: %s\n", e.what());
         return 1;

@@ -11,8 +11,10 @@
  *   skybyte_traceinfo -w <workload-spec> [-n threads] [-i instr] [-m mb]
  *
  * <workload-spec> is any registered workload spec string ("ycsb",
- * "scan:stride=256", ...); trace files are decoded through the batched
- * TraceFileWorkload replay path.
+ * "scan:stride=256", ...); trace files may be either the flat
+ * SKYTRC01 format or the seekable compressed STRC log (sniffed by
+ * magic). For an STRC capture a block/index/compression stats section
+ * is printed ahead of the workload statistics.
  */
 
 #include <cstdio>
@@ -21,12 +23,62 @@
 
 #include "trace/mix_workload.h"
 #include "trace/trace_file.h"
+#include "trace/trace_log/trace_log.h"
+#include "trace/trace_log/trace_log_workload.h"
 #include "trace/trace_stats.h"
 #include "trace/workload.h"
 
 using namespace skybyte;
 
 namespace {
+
+/** Decode every block once to report the storage-side numbers the
+ *  format exists for: seekability (blocks + index) and compression. */
+void
+printTraceLogStats(const std::string &path)
+{
+    TraceLogReader reader(path);
+    std::uint64_t blocks = 0;
+    std::uint64_t records = 0;
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t stored_bytes = 0;
+    std::uint64_t compressed_blocks = 0;
+    for (int tid = 0; tid < reader.numThreads(); ++tid) {
+        for (std::uint64_t b = 0; b < reader.blockCount(tid); ++b) {
+            const DecodedBlock block = reader.readBlock(tid, b);
+            ++blocks;
+            records += block.records.size();
+            raw_bytes += block.rawBytes;
+            stored_bytes += block.storedBytes;
+            compressed_blocks += block.compressed ? 1 : 0;
+        }
+    }
+    const double mb = 1024.0 * 1024.0;
+    std::printf("STRC trace log %s\n", path.c_str());
+    std::printf("  %d thread(s), %llu block(s) of <= %u records, %llu"
+                " records total\n",
+                reader.numThreads(),
+                static_cast<unsigned long long>(blocks),
+                reader.blockRecords(),
+                static_cast<unsigned long long>(records));
+    for (int tid = 0; tid < reader.numThreads(); ++tid) {
+        std::printf("  thread %d: %llu records in %llu block(s)\n", tid,
+                    static_cast<unsigned long long>(
+                        reader.totalRecords(tid)),
+                    static_cast<unsigned long long>(
+                        reader.blockCount(tid)));
+    }
+    std::printf("  payload %.2f MB raw -> %.2f MB stored (%.2fx, %llu/"
+                "%llu block(s) compressed), file %.2f MB\n",
+                static_cast<double>(raw_bytes) / mb,
+                static_cast<double>(stored_bytes) / mb,
+                stored_bytes > 0 ? static_cast<double>(raw_bytes)
+                                       / static_cast<double>(stored_bytes)
+                                 : 0.0,
+                static_cast<unsigned long long>(compressed_blocks),
+                static_cast<unsigned long long>(blocks),
+                static_cast<double>(reader.fileSize()) / mb);
+}
 
 void
 usage()
@@ -88,7 +140,9 @@ main(int argc, char **argv)
         std::unique_ptr<Workload> workload;
         std::string name;
         if (!trace_path.empty()) {
-            workload = std::make_unique<TraceFileWorkload>(trace_path);
+            if (isTraceLogFile(trace_path))
+                printTraceLogStats(trace_path);
+            workload = makeTraceReplayWorkload(trace_path);
             name = trace_path;
         } else {
             workload = makeWorkload(workload_name, params);

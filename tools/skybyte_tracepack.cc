@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Trace capture converter: repacks a capture between the flat
+ * SKYTRC01 file (trace/trace_file.h) and the seekable compressed STRC
+ * log (trace/trace_log/trace_log.h) in either direction. The input
+ * format is sniffed from the file magic; the output defaults to
+ * whichever format the input is not.
+ *
+ *   skybyte_tracepack -i <in> -o <out> [--to=flat|tracelog]
+ *                     [--block-records=N] [--verify]
+ *
+ * --verify re-opens both files after the conversion and drains the
+ * two record streams side by side (every thread, every record), so a
+ * zero exit with --verify certifies the repack is lossless. CI runs
+ * the round trip flat -> tracelog -> flat this way.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "trace/trace_file.h"
+#include "trace/trace_log/trace_log.h"
+#include "trace/trace_log/trace_log_workload.h"
+#include "trace/workload.h"
+
+using namespace skybyte;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: skybyte_tracepack -i <in> -o <out>"
+                 " [--to=flat|tracelog]\n"
+                 "                         [--block-records=N]"
+                 " [--verify]\n"
+                 "converts between the flat SKYTRC01 capture and the"
+                 " seekable\ncompressed STRC trace log (default: the"
+                 " format the input is not)\n");
+}
+
+/** Compare the full record streams of two captures; throws on any
+ *  divergence so --verify failures name what differed. */
+void
+verifySame(const std::string &a_path, const std::string &b_path)
+{
+    auto a = makeTraceReplayWorkload(a_path);
+    auto b = makeTraceReplayWorkload(b_path);
+    if (a->numThreads() != b->numThreads())
+        throw std::runtime_error("thread count differs: "
+                                 + std::to_string(a->numThreads()) + " vs "
+                                 + std::to_string(b->numThreads()));
+    if (a->name() != b->name())
+        throw std::runtime_error("workload name differs: '" + a->name()
+                                 + "' vs '" + b->name() + "'");
+    if (a->footprintBytes() != b->footprintBytes())
+        throw std::runtime_error("footprint differs");
+    for (int tid = 0; tid < a->numThreads(); ++tid) {
+        TraceCursor ca(*a, tid);
+        TraceCursor cb(*b, tid);
+        std::uint64_t n = 0;
+        for (;; ++n) {
+            TraceRecord ra{};
+            TraceRecord rb{};
+            const bool more_a = ca.next(ra);
+            const bool more_b = cb.next(rb);
+            if (more_a != more_b)
+                throw std::runtime_error(
+                    "thread " + std::to_string(tid) + " length differs at"
+                    " record " + std::to_string(n));
+            if (!more_a)
+                break;
+            if (ra.vaddr != rb.vaddr || ra.isWrite != rb.isWrite
+                || ra.computeOps != rb.computeOps)
+                throw std::runtime_error(
+                    "thread " + std::to_string(tid) + " record "
+                    + std::to_string(n) + " differs");
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string in_path;
+    std::string out_path;
+    std::string to_format;
+    std::uint32_t block_records = kTraceLogDefaultBlockRecords;
+    bool verify = false;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    throw std::invalid_argument("missing value for "
+                                                + arg);
+                return argv[++i];
+            };
+            if (arg == "-i") {
+                in_path = next();
+            } else if (arg == "-o") {
+                out_path = next();
+            } else if (arg.rfind("--to=", 0) == 0) {
+                to_format = arg.substr(5);
+            } else if (arg.rfind("--block-records=", 0) == 0) {
+                block_records = static_cast<std::uint32_t>(
+                    std::stoul(arg.substr(16)));
+            } else if (arg == "--verify") {
+                verify = true;
+            } else {
+                usage();
+                return 2;
+            }
+        }
+        if (in_path.empty() || out_path.empty()) {
+            usage();
+            return 2;
+        }
+        const bool in_is_log = isTraceLogFile(in_path);
+        if (to_format.empty())
+            to_format = in_is_log ? "flat" : "tracelog";
+        if (to_format != "flat" && to_format != "tracelog") {
+            usage();
+            return 2;
+        }
+        auto workload = makeTraceReplayWorkload(in_path);
+        const std::uint64_t records =
+            to_format == "tracelog"
+                ? writeTraceLog(out_path, *workload, block_records)
+                : writeTraceFile(out_path, *workload);
+        std::printf("repacked %llu records (%d threads) %s -> %s (%s)\n",
+                    static_cast<unsigned long long>(records),
+                    workload->numThreads(),
+                    in_is_log ? "tracelog" : "flat", to_format.c_str(),
+                    out_path.c_str());
+        if (verify) {
+            verifySame(in_path, out_path);
+            std::printf("verify: record streams identical\n");
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "skybyte_tracepack: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
