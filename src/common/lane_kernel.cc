@@ -1,0 +1,289 @@
+#include "common/lane_kernel.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/config.h"
+
+namespace skybyte {
+
+LaneWindow
+LaneWindow::fromLatencies(std::initializer_list<Tick> latencies)
+{
+    if (latencies.size() == 0) {
+        throw std::invalid_argument(
+            "LaneWindow::fromLatencies needs at least one latency");
+    }
+    Tick lo = kTickMax;
+    for (Tick latency : latencies) {
+        if (latency == 0) {
+            throw std::invalid_argument(
+                "cross-boundary latency must be > 0 (a zero-latency "
+                "boundary admits no safe parallel window)");
+        }
+        lo = std::min(lo, latency);
+    }
+    return LaneWindow{lo, lo};
+}
+
+void
+LaneWindow::validate() const
+{
+    if (windowTicks == 0 || windowTicks > minCrossLatency) {
+        throw std::invalid_argument(
+            "lane window must satisfy 1 <= W <= L (W="
+            + std::to_string(windowTicks)
+            + ", L=" + std::to_string(minCrossLatency) + ")");
+    }
+}
+
+Tick
+laneWindowTicks(const SimConfig &cfg)
+{
+    // The cheapest cross-boundary hops an event can take between lane
+    // groups of a simulated machine: core cluster -> shared LLC, host
+    // <-> device over the CXL link, and the flash read floor. Their
+    // minimum bounds how far any lane may safely run ahead.
+    return LaneWindow::fromLatencies({cfg.cpu.llc.hitLatency,
+                                      cfg.cxl.protocolLatency,
+                                      cfg.flash.timing.readLatency})
+        .windowTicks;
+}
+
+LaneEventKernel::LaneEventKernel(std::size_t groups, std::size_t workers,
+                                 LaneWindow window)
+    : window_(window)
+{
+    if (groups == 0) {
+        throw std::invalid_argument(
+            "LaneEventKernel needs at least one group");
+    }
+    window_.validate();
+    workers_ = std::max<std::size_t>(1, std::min(workers, groups));
+    lanes_.reserve(groups);
+    for (std::size_t g = 0; g < groups; ++g)
+        lanes_.push_back(std::make_unique<EventQueue>());
+    outboxes_ = std::vector<Outbox>(groups);
+}
+
+LaneEventKernel::~LaneEventKernel()
+{
+    // run() always joins its workers before returning (including on
+    // exceptions), so this only fires if run() itself never finished —
+    // in which case joining here prevents a std::terminate.
+    if (!threads_.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        windowCv_.notify_all();
+        for (std::thread &t : threads_)
+            t.join();
+        threads_.clear();
+    }
+}
+
+void
+LaneEventKernel::post(std::size_t from, std::size_t to, Tick when,
+                      EventFn fn)
+{
+    if (from >= lanes_.size() || to >= lanes_.size())
+        throw std::out_of_range("LaneEventKernel::post: bad group id");
+    const Tick send_now = lanes_[from]->now();
+    if (!window_.admissible(send_now, when)) {
+        throw std::logic_error(
+            "LaneEventKernel::post: delivery at " + std::to_string(when)
+            + " violates the conservative window (sender now "
+            + std::to_string(send_now) + ", min cross-boundary latency "
+            + std::to_string(window_.minCrossLatency) + ")");
+    }
+    Outbox &ob = outboxes_[from];
+    LaneMessage msg{when, static_cast<std::uint32_t>(from),
+                    static_cast<std::uint32_t>(to), ob.nextSeq++,
+                    std::move(fn)};
+    // Once a window spills, later sends keep spilling so the drain
+    // order (ring first, then overflow) preserves per-sender FIFO.
+    if (!ob.overflowed && ob.ring.tryPush(std::move(msg)))
+        return;
+    ob.overflowed = true;
+    ob.overflow.push_back(std::move(msg));
+}
+
+std::size_t
+LaneEventKernel::pending() const
+{
+    std::size_t total = 0;
+    for (const auto &q : lanes_)
+        total += q->pending();
+    return total;
+}
+
+Tick
+LaneEventKernel::nextEventTime() const
+{
+    Tick next = kTickMax;
+    for (const auto &q : lanes_)
+        next = std::min(next, q->nextEventTime());
+    return next;
+}
+
+void
+LaneEventKernel::runWorkerWindow(std::size_t w, Tick window_end)
+{
+    // Fixed round-robin group ownership: which worker runs a group
+    // never affects results (the canonical order is per-group), only
+    // load balance.
+    for (std::size_t g = w; g < lanes_.size(); g += workers_)
+        lanes_[g]->run(window_end);
+}
+
+void
+LaneEventKernel::drainAndMerge()
+{
+    mergeBuf_.clear();
+    for (Outbox &ob : outboxes_) {
+        LaneMessage msg;
+        while (ob.ring.tryPop(msg))
+            mergeBuf_.push_back(std::move(msg));
+        for (LaneMessage &spilled : ob.overflow)
+            mergeBuf_.push_back(std::move(spilled));
+        ob.overflow.clear();
+        ob.overflowed = false;
+    }
+    // (when, from, seq) is unique per message, so this sort is a total
+    // order — the merge sequence cannot depend on worker interleaving.
+    std::sort(mergeBuf_.begin(), mergeBuf_.end(),
+              [](const LaneMessage &a, const LaneMessage &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.from != b.from)
+                      return a.from < b.from;
+                  return a.seq < b.seq;
+              });
+    messagesMerged_ += mergeBuf_.size();
+    for (LaneMessage &msg : mergeBuf_)
+        lanes_[msg.to]->schedule(msg.when, std::move(msg.fn));
+    mergeBuf_.clear();
+}
+
+void
+LaneEventKernel::runWindows(Tick limit,
+                            const std::function<void(Tick)> &run_window)
+{
+    for (;;) {
+        const Tick next = nextEventTime();
+        if (next == kTickMax || next > limit)
+            break;
+        // Conservative admission makes every message due at or after
+        // windowEnd(next)+1, so clipping the window at `limit` can only
+        // shorten it — never admit anything early.
+        const Tick end = std::min(window_.windowEnd(next), limit);
+        run_window(end);
+        ++barriers_;
+        drainAndMerge();
+    }
+    // Align every lane clock with the bounded-run contract EventQueue
+    // has: after run(limit), now() == limit even with events pending
+    // past it. No event at or before `limit` remains (the loop above
+    // consumed them), so these calls only advance clocks.
+    if (limit != kTickMax) {
+        for (auto &q : lanes_)
+            q->run(limit);
+    }
+}
+
+void
+LaneEventKernel::workerLoop(std::size_t w)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        Tick end;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            windowCv_.wait(lock,
+                           [&] { return stop_ || epoch_ != seen; });
+            if (stop_)
+                return;
+            seen = epoch_;
+            end = windowEnd_;
+        }
+        try {
+            runWorkerWindow(w, end);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (workerError_ == nullptr)
+                workerError_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++arrived_;
+        }
+        doneCv_.notify_one();
+    }
+}
+
+void
+LaneEventKernel::run(Tick limit)
+{
+    if (running_)
+        throw std::logic_error("LaneEventKernel::run is not reentrant");
+    running_ = true;
+
+    if (workers_ == 1) {
+        // Serial mode: the identical window/barrier/merge loop, inline.
+        // This is what makes worker count result-invariant — the only
+        // difference from the threaded path is who executes a group.
+        runWindows(limit, [this](Tick end) {
+            for (auto &q : lanes_)
+                q->run(end);
+        });
+        running_ = false;
+        return;
+    }
+
+    stop_ = false;
+    epoch_ = 0;
+    arrived_ = 0;
+    workerError_ = nullptr;
+    threads_.reserve(workers_);
+    for (std::size_t w = 0; w < workers_; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+
+    auto shutdown = [this] {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        windowCv_.notify_all();
+        for (std::thread &t : threads_)
+            t.join();
+        threads_.clear();
+    };
+
+    try {
+        runWindows(limit, [this](Tick end) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                windowEnd_ = end;
+                ++epoch_;
+            }
+            windowCv_.notify_all();
+            std::unique_lock<std::mutex> lock(mu_);
+            doneCv_.wait(lock, [this] { return arrived_ == workers_; });
+            arrived_ = 0;
+            if (workerError_ != nullptr) {
+                std::exception_ptr err = workerError_;
+                workerError_ = nullptr;
+                std::rethrow_exception(err);
+            }
+        });
+    } catch (...) {
+        shutdown();
+        running_ = false;
+        throw;
+    }
+    shutdown();
+    running_ = false;
+}
+
+} // namespace skybyte

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Multi-lane discrete-event kernel: conservative time-window
+ * parallelism over per-lane calendar queues.
+ *
+ * The serial EventQueue executes one global event order. This kernel
+ * partitions event sources into G *lane groups*, each with its own
+ * calendar EventQueue, and advances the groups concurrently inside a
+ * bounded time window — the domain-decomposition + boundary-exchange
+ * shape of chunk-parallel tick simulation, applied to an event
+ * calendar. The structure that makes this safe is the same one the
+ * simulator has: events only cross group boundaries (core→uncore hop,
+ * CXL link, flash read) with a known minimum latency L, so a group can
+ * run W <= L ticks ahead of every other group without ever missing a
+ * message from the past.
+ *
+ * Execution alternates two phases:
+ *
+ *  1. Window: every group runs its own queue up to the window end,
+ *     independently and in parallel. Cross-group sends (post()) are
+ *     buffered in the sending group's SPSC outbox ring (overflow spills
+ *     to a producer-local vector), never applied directly.
+ *  2. Barrier: all workers park; the coordinator drains every outbox,
+ *     sorts the messages by (deliverTick, senderGroup, senderSeq) — a
+ *     total order independent of worker interleaving — and schedules
+ *     them into the destination queues. Conservative admission
+ *     (deliverTick >= senderNow + L, enforced by post()) plus W <= L
+ *     guarantees every merged message lands strictly after the window
+ *     that produced it, so no group ever receives an event in its past.
+ *
+ * Determinism: the canonical event order is a pure function of the
+ * group partition and the initial schedule — each group's intra-window
+ * execution is single-threaded FIFO-calendar order, window boundaries
+ * derive only from queue state, and the barrier merge is sorted by a
+ * worker-independent key. The physical worker count (the `lanes` knob)
+ * only chooses how groups are spread across host threads; workers=1
+ * runs the identical window/barrier/merge loop inline on the caller.
+ * tests/test_lane_kernel.cc pins checksum equality across worker
+ * counts, and the System-level fingerprint tests pin it end to end.
+ */
+
+#ifndef SKYBYTE_COMMON_LANE_KERNEL_H
+#define SKYBYTE_COMMON_LANE_KERNEL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/spsc_ring.h"
+#include "common/types.h"
+
+namespace skybyte {
+
+struct SimConfig;
+
+/**
+ * The conservative window contract: groups may run @c windowTicks ahead
+ * of each other because no cross-group message can be due sooner than
+ * @c minCrossLatency after its send time.
+ */
+struct LaneWindow
+{
+    /** Barrier period W: how far groups advance between exchanges. */
+    Tick windowTicks = 1;
+    /** Minimum cross-boundary latency L; post() enforces it. */
+    Tick minCrossLatency = 1;
+
+    /**
+     * The safe maximal window for a set of boundary latencies:
+     * W = L = min(latencies).
+     * @throws std::invalid_argument when empty or any latency is 0.
+     */
+    static LaneWindow fromLatencies(std::initializer_list<Tick> latencies);
+
+    /** Is delivering at @p deliver legal for a send at @p send_now? */
+    bool
+    admissible(Tick send_now, Tick deliver) const
+    {
+        return deliver >= send_now + minCrossLatency;
+    }
+
+    /**
+     * End (inclusive) of the window opening at @p start; the first tick
+     * of the next window is windowEnd()+1.
+     */
+    Tick
+    windowEnd(Tick start) const
+    {
+        const Tick end = start + (windowTicks - 1);
+        return end < start ? kTickMax : end; // saturate on overflow
+    }
+
+    /** @throws std::invalid_argument unless 1 <= W <= L. */
+    void validate() const;
+};
+
+/**
+ * Minimum cross-boundary latency of a simulated machine: the cheapest
+ * path an event can take between lane groups (core→LLC hop, CXL
+ * protocol latency, flash read floor). This is the conservative window
+ * a lane-parallel run of @p cfg may use.
+ */
+Tick laneWindowTicks(const SimConfig &cfg);
+
+/** One buffered cross-lane event. */
+struct LaneMessage
+{
+    Tick when = 0;
+    std::uint32_t from = 0;
+    std::uint32_t to = 0;
+    /** Per-sender send order: the deterministic same-tick tie-break. */
+    std::uint64_t seq = 0;
+    EventFn fn;
+};
+
+/**
+ * G lane groups advanced by W worker threads under a conservative
+ * window barrier. Not thread-safe externally: construction, setup
+ * schedule() calls and run() all happen on one controlling thread;
+ * post() may only be called from inside an event executing on the
+ * sending group.
+ */
+class LaneEventKernel
+{
+  public:
+    /** Outbox ring slots per group (overflow spills past this). */
+    static constexpr std::size_t kRingSlots = 1024;
+
+    /**
+     * @param groups  logical lane count G (fixes the canonical order)
+     * @param workers physical thread count; clamped to [1, groups]
+     * @param window  validated conservative-window contract
+     */
+    LaneEventKernel(std::size_t groups, std::size_t workers,
+                    LaneWindow window);
+
+    ~LaneEventKernel();
+
+    LaneEventKernel(const LaneEventKernel &) = delete;
+    LaneEventKernel &operator=(const LaneEventKernel &) = delete;
+
+    std::size_t groups() const { return lanes_.size(); }
+    std::size_t workers() const { return workers_; }
+    const LaneWindow &window() const { return window_; }
+
+    /** Group @p g's own calendar queue (intra-group scheduling). */
+    EventQueue &
+    lane(std::size_t g)
+    {
+        return *lanes_.at(g);
+    }
+
+    /** Schedule onto group @p g at absolute @p when (setup phase). */
+    template <typename F>
+    void
+    schedule(std::size_t g, Tick when, F &&fn)
+    {
+        lane(g).schedule(when, std::forward<F>(fn));
+    }
+
+    /**
+     * Send a cross-group event: run @p fn on group @p to at @p when.
+     * Must be called from an event executing on group @p from; the
+     * message is exchanged at the next window barrier.
+     * @throws std::logic_error when @p when violates the conservative
+     *         admission bound (sooner than sender-now + L).
+     */
+    void post(std::size_t from, std::size_t to, Tick when, EventFn fn);
+
+    /**
+     * Run every group until all queues drain (and no messages are in
+     * flight) or the window opening past @p limit is reached. With a
+     * finite limit every lane clock reads exactly @p limit afterwards.
+     * Events and merges happen in the canonical order regardless of the
+     * worker count.
+     */
+    void run(Tick limit = kTickMax);
+
+    /** Sum of pending events across groups (quiescent state only). */
+    std::size_t pending() const;
+
+    /** Earliest pending tick across groups (kTickMax when drained). */
+    Tick nextEventTime() const;
+
+    /** Cross-group messages merged so far. @{ */
+    std::uint64_t messagesMerged() const { return messagesMerged_; }
+    std::uint64_t barriers() const { return barriers_; }
+    /** @} */
+
+  private:
+    /**
+     * Per-group boundary outbox. The ring is the SPSC fast path
+     * (producer: the worker executing the group; consumer: the barrier
+     * coordinator). When a window produces more sends than ring slots,
+     * the rest go to the producer-local overflow vector — and stay
+     * there for the remainder of the window so per-sender FIFO order
+     * survives the spill. The coordinator drains ring-then-overflow at
+     * the barrier, while every producer is parked.
+     */
+    struct Outbox
+    {
+        SpscRing<LaneMessage> ring{kRingSlots};
+        std::vector<LaneMessage> overflow;
+        bool overflowed = false;
+        std::uint64_t nextSeq = 0;
+    };
+
+    /** Execute groups [w mod workers] up to @p window_end inclusive. */
+    void runWorkerWindow(std::size_t w, Tick window_end);
+
+    /** Drain all outboxes, sort, schedule into destinations. */
+    void drainAndMerge();
+
+    /** The window/barrier loop body shared by serial and threaded runs. */
+    void runWindows(Tick limit,
+                    const std::function<void(Tick)> &run_window);
+
+    /** Threaded worker body. */
+    void workerLoop(std::size_t w);
+
+    std::vector<std::unique_ptr<EventQueue>> lanes_;
+    std::vector<Outbox> outboxes_;
+    LaneWindow window_;
+    std::size_t workers_;
+
+    /** Barrier state (threaded mode only). @{ */
+    std::mutex mu_;
+    std::condition_variable windowCv_; ///< coordinator -> workers
+    std::condition_variable doneCv_;   ///< workers -> coordinator
+    std::uint64_t epoch_ = 0;
+    std::size_t arrived_ = 0;
+    Tick windowEnd_ = 0;
+    bool stop_ = false;
+    std::exception_ptr workerError_;
+    std::vector<std::thread> threads_;
+    /** @} */
+
+    std::vector<LaneMessage> mergeBuf_;
+    std::uint64_t messagesMerged_ = 0;
+    std::uint64_t barriers_ = 0;
+    bool running_ = false;
+};
+
+} // namespace skybyte
+
+#endif // SKYBYTE_COMMON_LANE_KERNEL_H

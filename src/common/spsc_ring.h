@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Single-producer single-consumer lock-free ring buffer.
+ *
+ * The multi-lane kernel (common/lane_kernel.h) exchanges cross-lane
+ * boundary events through one of these per lane group: the owning
+ * worker thread is the only producer, and the barrier coordinator is
+ * the only consumer. Under that discipline a bounded ring needs no
+ * locks at all — the producer owns the tail index, the consumer owns
+ * the head index, and a release store on the writer side paired with an
+ * acquire load on the reader side publishes each slot's contents.
+ *
+ * Capacity is a power of two so slot indexing is a mask; indices are
+ * monotonically increasing (wrap-free for any realistic run: 2^64
+ * pushes), so full/empty are plain subtractions with no reserved slot.
+ *
+ * A full ring rejects the push (tryPush returns false); the lane
+ * kernel spills to a producer-local overflow vector in that case rather
+ * than blocking mid-window. tests/test_lane_kernel.cc stresses the ring
+ * from two real threads, which doubles as the TSan proof of the
+ * memory-order choices.
+ */
+
+#ifndef SKYBYTE_COMMON_SPSC_RING_H
+#define SKYBYTE_COMMON_SPSC_RING_H
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace skybyte {
+
+/**
+ * Bounded wait-free SPSC queue. Exactly one thread may call tryPush()
+ * and exactly one thread may call tryPop(); the two may run
+ * concurrently.
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity slot count; power of two >= 2. */
+    explicit SpscRing(std::size_t capacity)
+        : slots_(capacity), mask_(capacity - 1)
+    {
+        if (capacity < 2 || (capacity & mask_) != 0) {
+            throw std::invalid_argument(
+                "SpscRing capacity must be a power of two >= 2");
+        }
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /** Producer side. @retval false when the ring is full. */
+    bool
+    tryPush(T &&value)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail - head_.load(std::memory_order_acquire)
+            > mask_) {
+            return false;
+        }
+        slots_[tail & mask_] = std::move(value);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side. @retval false when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        if (tail_.load(std::memory_order_acquire) == head)
+            return false;
+        out = std::move(slots_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer-side view; racy but conservative from the producer. */
+    bool
+    empty() const
+    {
+        return tail_.load(std::memory_order_acquire)
+               == head_.load(std::memory_order_acquire);
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t mask_;
+    /** Consumer cursor; padded so the two cursors never share a line. */
+    alignas(64) std::atomic<std::size_t> head_{0};
+    /** Producer cursor. */
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace skybyte
+
+#endif // SKYBYTE_COMMON_SPSC_RING_H

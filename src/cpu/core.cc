@@ -44,7 +44,7 @@ Tick
 Core::headCompleteAt() const
 {
     const RobEntry &head = rob_.front();
-    if (head.miss != nullptr)
+    if (head.miss)
         return head.miss->done ? head.miss->doneAt : kTickMax;
     return head.completeAt;
 }
@@ -121,7 +121,7 @@ Core::issueMem(const TraceRecord &rec, Tick t, RobEntry &entry)
     if (!coalesced && l1Mshrs_.full())
         return false;
 
-    auto status = std::make_shared<MissStatus>();
+    MissRef status = uncore_.makeMiss();
     status->lineAddr = line;
     status->owner = this;
     status->issuedAt = t;
@@ -233,7 +233,7 @@ Core::squashToReplay()
     for (auto &entry : rob_) {
         recs.push_back(entry.rec);
         stats_.squashedRecords++;
-        if (entry.miss != nullptr && !entry.miss->done) {
+        if (entry.miss && !entry.miss->done) {
             entry.miss->orphaned = true;
             if (cfg_.freeMshrOnSquash && entry.miss->l1MshrHeld) {
                 l1Mshrs_.release(entry.miss->lineAddr);
@@ -305,7 +305,7 @@ Core::wake(Tick now)
 }
 
 void
-Core::onMissData(const std::shared_ptr<MissStatus> &status, Tick now)
+Core::onMissData(const MissRef &status, Tick now)
 {
     status->done = true;
     status->doneAt = now;
@@ -320,7 +320,7 @@ Core::onMissData(const std::shared_ptr<MissStatus> &status, Tick now)
 }
 
 void
-Core::onMissHint(const std::shared_ptr<MissStatus> &status, Tick now)
+Core::onMissHint(const MissRef &status, Tick now)
 {
     status->hinted = true;
     if (status->l1MshrHeld) {

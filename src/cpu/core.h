@@ -66,8 +66,8 @@ class Core
     ThreadContext *currentThread() const { return thread_; }
 
     /** Uncore callbacks. @{ */
-    void onMissData(const std::shared_ptr<MissStatus> &status, Tick now);
-    void onMissHint(const std::shared_ptr<MissStatus> &status, Tick now);
+    void onMissData(const MissRef &status, Tick now);
+    void onMissHint(const MissRef &status, Tick now);
     void onMshrFree(Tick now);
     /** @} */
 
@@ -88,7 +88,7 @@ class Core
     {
         std::uint32_t slots = 0;
         Tick completeAt = 0; ///< kTickMax while a miss is pending
-        std::shared_ptr<MissStatus> miss;
+        MissRef miss;
         TraceRecord rec;
     };
 

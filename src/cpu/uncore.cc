@@ -9,7 +9,7 @@ Uncore::Uncore(const CpuConfig &cfg, EventQueue &eq, MemoryBackend &backend)
 {}
 
 UncoreLoadResult
-Uncore::load(const std::shared_ptr<MissStatus> &status, Tick when)
+Uncore::load(const MissRef &status, Tick when)
 {
     const Addr line = status->lineAddr;
     if (l3_.access(line, false, 0, &status->value))
@@ -56,7 +56,7 @@ Uncore::onResponse(Addr line_addr, const MemResponse &resp)
 {
     // Detach the waiter list before completing anyone: a completion
     // callback may re-enter load() and mutate the table.
-    std::vector<std::shared_ptr<MissStatus>> waiters;
+    std::vector<MissRef> waiters;
     if (auto *entry = inFlight_.find(line_addr)) {
         waiters = std::move(*entry);
         inFlight_.erase(line_addr);

@@ -9,11 +9,12 @@
 #ifndef SKYBYTE_CPU_UNCORE_H
 #define SKYBYTE_CPU_UNCORE_H
 
-#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/event_queue.h"
 #include "common/flat_map.h"
+#include "common/slab.h"
 #include "common/stats.h"
 #include "cpu/cache.h"
 #include "cpu/mem_backend.h"
@@ -38,6 +39,81 @@ struct MissStatus
     Tick issuedAt = 0;
     Tick doneAt = kTickMax;
     LineValue value = 0; ///< functional payload of the data response
+    /** Intrusive refcount managed by MissRef (single-threaded). */
+    std::uint32_t refs = 0;
+};
+
+/**
+ * Intrusive refcounted handle to a slab-backed MissStatus: the
+ * shared_ptr it replaced cost one heap allocation (control block +
+ * record) per LLC-bound load on the request path. Records come from
+ * Uncore's slab (stable addresses, recycled storage) and return to it
+ * when the last handle drops; the count is a plain integer because the
+ * whole core/uncore request path is single-threaded event code.
+ */
+class MissRef
+{
+  public:
+    MissRef() = default;
+
+    /** Adopt @p status (its refcount must already count this handle). */
+    MissRef(MissStatus *status, Slab<MissStatus> *home)
+        : ptr_(status), home_(home)
+    {}
+
+    MissRef(const MissRef &other) : ptr_(other.ptr_), home_(other.home_)
+    {
+        if (ptr_ != nullptr)
+            ++ptr_->refs;
+    }
+
+    MissRef(MissRef &&other) noexcept
+        : ptr_(other.ptr_), home_(other.home_)
+    {
+        other.ptr_ = nullptr;
+    }
+
+    MissRef &
+    operator=(const MissRef &other)
+    {
+        MissRef copy(other);
+        swap(copy);
+        return *this;
+    }
+
+    MissRef &
+    operator=(MissRef &&other) noexcept
+    {
+        swap(other);
+        other.reset();
+        return *this;
+    }
+
+    ~MissRef() { reset(); }
+
+    /** Drop this handle; releases the record on the last one. */
+    void
+    reset()
+    {
+        if (ptr_ != nullptr && --ptr_->refs == 0)
+            home_->release(ptr_);
+        ptr_ = nullptr;
+    }
+
+    void
+    swap(MissRef &other) noexcept
+    {
+        std::swap(ptr_, other.ptr_);
+        std::swap(home_, other.home_);
+    }
+
+    MissStatus *operator->() const { return ptr_; }
+    MissStatus &operator*() const { return *ptr_; }
+    explicit operator bool() const { return ptr_ != nullptr; }
+
+  private:
+    MissStatus *ptr_ = nullptr;
+    Slab<MissStatus> *home_ = nullptr;
 };
 
 /** Result of presenting an LLC-bound load to the uncore. */
@@ -57,11 +133,23 @@ class Uncore
     Uncore(const CpuConfig &cfg, EventQueue &eq, MemoryBackend &backend);
 
     /**
+     * Fresh slab-backed miss record for an LLC-bound load (the one
+     * sanctioned allocation site; the request path itself stays
+     * allocation-free at steady state).
+     */
+    MissRef
+    makeMiss()
+    {
+        MissStatus *status = missSlab_.alloc();
+        status->refs = 1;
+        return MissRef(status, &missSlab_);
+    }
+
+    /**
      * Present a demand load that missed L1/L2 at time @p when.
      * On Pending, @p status is registered and will receive done/hinted.
      */
-    UncoreLoadResult load(const std::shared_ptr<MissStatus> &status,
-                          Tick when);
+    UncoreLoadResult load(const MissRef &status, Tick when);
 
     /** Dirty line evicted from a core's L2: fill into L3. */
     void writebackToL3(Addr line_addr, LineValue value, Tick when);
@@ -87,7 +175,10 @@ class Uncore
     MemoryBackend &backend_;
     SetAssocCache l3_;
     MshrFile mshrs_;
-    FlatMap<std::vector<std::shared_ptr<MissStatus>>> inFlight_;
+    /** Declared before inFlight_ so every waiter handle releases back
+     *  into the slab before the slab itself destructs. */
+    Slab<MissStatus> missSlab_;
+    FlatMap<std::vector<MissRef>> inFlight_;
     std::vector<Core *> cores_;
     LatencyHistogram offchip_;
     std::uint64_t llcMisses_ = 0;

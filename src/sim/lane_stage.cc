@@ -1,0 +1,173 @@
+#include "sim/lane_stage.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "trace/workload_spec.h"
+
+namespace skybyte {
+
+std::uint32_t
+resolvedKernelLanes(const KernelConfig &cfg)
+{
+    // Deliberate nondeterminism exception: like SKYBYTE_SWEEP_* in the
+    // sweep driver, this is an operator knob that cannot change
+    // simulated behaviour (lane count is result-invariant), only
+    // wall-clock. skybyte_lint allowlists this file for getenv.
+    const char *env = std::getenv("SKYBYTE_SIM_LANES");
+    if (env == nullptr || *env == '\0')
+        return cfg.lanes;
+    const std::uint64_t lanes =
+        parseUnsigned(env, "SKYBYTE_SIM_LANES");
+    if (lanes == 0 || lanes > 64) {
+        throw std::invalid_argument(
+            "SKYBYTE_SIM_LANES must be in [1, 64]: "
+            + std::string(env));
+    }
+    return static_cast<std::uint32_t>(lanes);
+}
+
+LaneBatchStager::LaneBatchStager(Workload &workload, std::size_t workers)
+    : workload_(&workload), numThreads_(workload.numThreads())
+{
+    if (numThreads_ <= 0)
+        throw std::invalid_argument("LaneBatchStager needs >= 1 thread");
+    if (!workload.concurrentRefillSafe()) {
+        throw std::logic_error(
+            "LaneBatchStager requires concurrentRefillSafe()");
+    }
+    const std::size_t count = std::min<std::size_t>(
+        std::max<std::size_t>(workers, 1),
+        static_cast<std::size_t>(numThreads_));
+    stages_ = std::vector<TidStage>(static_cast<std::size_t>(numThreads_));
+    producers_.reserve(count);
+    for (std::size_t w = 0; w < count; ++w)
+        producers_.push_back(std::make_unique<Producer>());
+    // Spawn only after every Producer exists: producerLoop indexes the
+    // full vector via tid ownership arithmetic.
+    for (std::size_t w = 0; w < count; ++w) {
+        producers_[w]->thread =
+            std::thread([this, w] { producerLoop(w); });
+    }
+}
+
+LaneBatchStager::~LaneBatchStager()
+{
+    stop();
+}
+
+void
+LaneBatchStager::stop()
+{
+    if (stopped_)
+        return;
+    stopped_ = true;
+    for (auto &p : producers_) {
+        {
+            std::lock_guard<std::mutex> lock(p->mu);
+            p->stop = true;
+        }
+        p->cv.notify_all();
+    }
+    for (auto &p : producers_) {
+        if (p->thread.joinable())
+            p->thread.join();
+    }
+}
+
+int
+LaneBatchStager::nextRefillableTid(std::size_t w) const
+{
+    for (int tid = static_cast<int>(w); tid < numThreads_;
+         tid += static_cast<int>(producers_.size())) {
+        const TidStage &st = stages_[static_cast<std::size_t>(tid)];
+        if (!st.done && st.produced - st.consumed < kSlotsPerTid)
+            return tid;
+    }
+    return -1;
+}
+
+bool
+LaneBatchStager::allOwnedDone(std::size_t w) const
+{
+    for (int tid = static_cast<int>(w); tid < numThreads_;
+         tid += static_cast<int>(producers_.size())) {
+        if (!stages_[static_cast<std::size_t>(tid)].done)
+            return false;
+    }
+    return true;
+}
+
+void
+LaneBatchStager::producerLoop(std::size_t w)
+{
+    Producer &p = *producers_[w];
+    std::unique_lock<std::mutex> lock(p.mu);
+    for (;;) {
+        if (p.stop)
+            return;
+        const int tid = nextRefillableTid(w);
+        if (tid < 0) {
+            if (allOwnedDone(w))
+                return;
+            p.cv.wait(lock);
+            continue;
+        }
+        TidStage &st = stages_[static_cast<std::size_t>(tid)];
+        const std::uint64_t slot = st.produced % kSlotsPerTid;
+        // The slot is free (invariant above) and stays untouched by the
+        // consumer until produced advances, so fill it unlocked — the
+        // refill is the expensive part and must not serialize against
+        // the simulation thread's hand-offs.
+        lock.unlock();
+        TraceBatch &batch = st.slots[slot];
+        const std::uint32_t n = workload_->refill(tid, batch);
+        std::uint64_t instr = 0;
+        for (std::uint32_t i = 0; i < n; ++i)
+            instr += batch.records[i].computeOps + 1;
+        lock.lock();
+        if (n == 0) {
+            st.done = true;
+        } else {
+            st.slotInstr[slot] = instr;
+            ++st.produced;
+        }
+        p.cv.notify_all();
+    }
+}
+
+std::uint32_t
+LaneBatchStager::nextBatch(int tid, TraceBatch &batch)
+{
+    TidStage &st = stages_[static_cast<std::size_t>(tid)];
+    Producer &p =
+        *producers_[static_cast<std::size_t>(tid) % producers_.size()];
+    std::unique_lock<std::mutex> lock(p.mu);
+    p.cv.wait(lock,
+              [&] { return st.produced > st.consumed || st.done; });
+    if (st.produced == st.consumed)
+        return 0; // exhausted; stays 0 forever per the refill contract
+    const std::uint64_t slot = st.consumed % kSlotsPerTid;
+    const std::uint64_t instr = st.slotInstr[slot];
+    // Copy out unlocked: the producer cannot reuse this slot until
+    // consumed advances below.
+    lock.unlock();
+    batch = st.slots[slot];
+    lock.lock();
+    st.delivered += instr;
+    ++st.consumed;
+    p.cv.notify_all();
+    return batch.count;
+}
+
+std::uint64_t
+LaneBatchStager::instructionsDelivered(int tid) const
+{
+    // Simulation thread only, after its own nextBatch calls — the
+    // consumer-side counter needs no lock from here.
+    return stages_[static_cast<std::size_t>(tid)].delivered;
+}
+
+} // namespace skybyte

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Lane-parallel workload staging: the System-level consumer of the
+ * `lanes` knob (SimConfig::kernel.lanes / SKYBYTE_SIM_LANES).
+ *
+ * The simulation proper executes one global event order, so the safe
+ * way to spend extra host threads on a single run is pipeline
+ * parallelism: produce each software thread's TraceBatches *ahead of
+ * time* on worker threads, and let the simulation thread consume them
+ * with a bounded hand-off instead of a synchronous virtual refill().
+ * Batch content is a pure function of (workload, tid, batch index) —
+ * Workload::refill's contract — so staging changes only *where* a
+ * batch is produced, never its contents or the simulated time at which
+ * it is consumed. Results are therefore bit-identical to the serial
+ * path for every lane count, which tests/test_lane_kernel.cc pins via
+ * SimResult fingerprints.
+ *
+ * Only workloads whose refill() is safe to call for distinct tids from
+ * different host threads participate (Workload::concurrentRefillSafe);
+ * everything else silently stays on the serial path.
+ */
+
+#ifndef SKYBYTE_SIM_LANE_STAGE_H
+#define SKYBYTE_SIM_LANE_STAGE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/config.h"
+#include "trace/workload.h"
+
+namespace skybyte {
+
+/**
+ * Effective lane count for a run: the SKYBYTE_SIM_LANES environment
+ * variable when set (strict digits-only parse, range [1, 64]; anything
+ * else throws std::invalid_argument), otherwise @p cfg's `lanes` knob.
+ * The env override exists so sweeps and CI can force a lane count
+ * without editing every config file.
+ */
+std::uint32_t resolvedKernelLanes(const KernelConfig &cfg);
+
+/**
+ * Prestages TraceBatches for every software thread on a small pool of
+ * producer threads. One BatchSource shared by all ThreadContexts: the
+ * simulation thread is the only consumer, producer @c w owns tids
+ * {w, w+P, w+2P, ...}, and each tid has a fixed 2-slot ring so a
+ * producer runs at most one batch ahead per thread — bounded memory,
+ * and the hand-off degenerates to a 4 KB copy when the producer keeps
+ * up.
+ */
+class LaneBatchStager : public BatchSource
+{
+  public:
+    /** Staged batches per tid: one being consumed, one in flight. */
+    static constexpr std::uint64_t kSlotsPerTid = 2;
+
+    /**
+     * Spawns min(@p workers, numThreads) producers over @p workload's
+     * threads. @p workload must outlive the stager and satisfy
+     * concurrentRefillSafe(); no other caller may invoke refill() on
+     * it while the stager lives.
+     */
+    LaneBatchStager(Workload &workload, std::size_t workers);
+
+    ~LaneBatchStager() override;
+
+    LaneBatchStager(const LaneBatchStager &) = delete;
+    LaneBatchStager &operator=(const LaneBatchStager &) = delete;
+
+    /**
+     * Consumer side (simulation thread only): blocks until tid's next
+     * batch is staged. Same contract as Workload::refill — returns 0
+     * exactly when the underlying stream is exhausted.
+     */
+    std::uint32_t nextBatch(int tid, TraceBatch &batch) override;
+
+    /**
+     * Instructions handed to @p tid's ThreadContext so far, counted at
+     * delivery time. This is the staged run's stand-in for
+     * Workload::instructionsEmitted: the serial path counts at
+     * refill() time, and delivery is exactly where refill() would have
+     * run, so the two agree at every observation point (in particular
+     * at a timeout cut-off, where the raw emitted count would include
+     * batches produced ahead but never consumed).
+     */
+    std::uint64_t instructionsDelivered(int tid) const;
+
+    /** Producer threads actually spawned. */
+    std::size_t workers() const { return producers_.size(); }
+
+    /** Join all producers (idempotent; the destructor calls it). */
+    void stop();
+
+  private:
+    /** Per-software-thread slot ring. All fields except the slot
+     * payloads are guarded by the owning producer's mutex; a slot's
+     * payload is written only while it is free (produced - consumed <
+     * kSlotsPerTid keeps producer and consumer on disjoint slots). */
+    struct TidStage
+    {
+        TraceBatch slots[kSlotsPerTid];
+        /** Instruction count (computeOps+1 summed) of each slot. */
+        std::uint64_t slotInstr[kSlotsPerTid] = {0, 0};
+        std::uint64_t produced = 0;
+        std::uint64_t consumed = 0;
+        /** refill() returned 0; no further slots will be produced. */
+        bool done = false;
+        std::uint64_t delivered = 0;
+    };
+
+    /** One producer thread plus the lock covering its owned tids. */
+    struct Producer
+    {
+        std::mutex mu;
+        /** Both directions: consumer waits for a staged slot, the
+         * producer waits for a freed one. One producer plus one
+         * consumer per domain, so notify_all costs nothing extra. */
+        std::condition_variable cv;
+        bool stop = false;
+        std::thread thread;
+    };
+
+    void producerLoop(std::size_t w);
+
+    /** Owned tid with a free slot and work left; -1 when none. Caller
+     * holds the producer's mutex. */
+    int nextRefillableTid(std::size_t w) const;
+
+    /** Every owned tid exhausted? Caller holds the producer's mutex. */
+    bool allOwnedDone(std::size_t w) const;
+
+    Workload *workload_;
+    int numThreads_;
+    std::vector<TidStage> stages_;
+    std::vector<std::unique_ptr<Producer>> producers_;
+    bool stopped_ = false;
+};
+
+} // namespace skybyte
+
+#endif // SKYBYTE_SIM_LANE_STAGE_H

@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Tests for the multi-lane parallel kernel stack: the SPSC boundary
+ * ring, the conservative-window math (property-tested: no admissible
+ * message can land inside the window that sent it), LaneEventKernel
+ * determinism across worker counts (including the outbox-overflow
+ * path), the LaneBatchStager record-stream identity, and end-to-end
+ * SimResult fingerprint equality for lanes in {1,2,4,8} — the gate
+ * that makes the `lanes` knob a pure wall-clock knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/lane_kernel.h"
+#include "common/spsc_ring.h"
+#include "sim/experiment.h"
+#include "sim/lane_stage.h"
+#include "sim/report.h"
+#include "sim/system.h"
+#include "trace/workload.h"
+
+namespace skybyte {
+namespace {
+
+std::uint32_t
+xorshift(std::uint32_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+}
+
+// ---------------------------------------------------------------------
+// SpscRing
+// ---------------------------------------------------------------------
+
+TEST(SpscRing, PushPopFifo)
+{
+    SpscRing<int> ring(8);
+    EXPECT_GE(ring.capacity(), 8u);
+    EXPECT_TRUE(ring.empty());
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(ring.tryPush(int(i)));
+    int v = -1;
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(ring.tryPop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(ring.tryPop(v));
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, PushFailsWhenFull)
+{
+    SpscRing<int> ring(4);
+    int i = 0;
+    while (ring.tryPush(int(i)))
+        ++i;
+    EXPECT_EQ(static_cast<std::size_t>(i), ring.capacity());
+    int v = -1;
+    ASSERT_TRUE(ring.tryPop(v));
+    EXPECT_EQ(v, 0);
+    EXPECT_TRUE(ring.tryPush(99)); // slot freed
+}
+
+TEST(SpscRing, TwoThreadStressKeepsOrder)
+{
+    // One producer, one consumer, small ring: the TSan job turns this
+    // into a memory-ordering proof for the acquire/release pairing.
+    constexpr std::uint64_t kItems = 50'000;
+    SpscRing<std::uint64_t> ring(64);
+    std::uint64_t mismatches = 0;
+    std::thread consumer([&] {
+        std::uint64_t expect = 0;
+        std::uint64_t v = 0;
+        while (expect < kItems) {
+            if (ring.tryPop(v)) {
+                if (v != expect)
+                    ++mismatches;
+                ++expect;
+            } else {
+                std::this_thread::yield(); // single-core hosts
+            }
+        }
+    });
+    for (std::uint64_t i = 0; i < kItems;) {
+        if (ring.tryPush(std::uint64_t(i)))
+            ++i;
+        else
+            std::this_thread::yield();
+    }
+    consumer.join();
+    EXPECT_EQ(mismatches, 0u);
+    EXPECT_TRUE(ring.empty());
+}
+
+// ---------------------------------------------------------------------
+// LaneWindow math
+// ---------------------------------------------------------------------
+
+TEST(LaneWindow, FromLatenciesTakesTheMinimum)
+{
+    const LaneWindow w = LaneWindow::fromLatencies({640, 160, 48'000});
+    EXPECT_EQ(w.windowTicks, 160u);
+    EXPECT_EQ(w.minCrossLatency, 160u);
+    EXPECT_NO_THROW(w.validate());
+}
+
+TEST(LaneWindow, RejectsEmptyAndZeroLatencies)
+{
+    EXPECT_THROW(LaneWindow::fromLatencies({}), std::invalid_argument);
+    EXPECT_THROW(LaneWindow::fromLatencies({100, 0}),
+                 std::invalid_argument);
+}
+
+TEST(LaneWindow, ValidateRejectsWindowsWiderThanL)
+{
+    EXPECT_THROW((LaneWindow{0, 10}).validate(), std::invalid_argument);
+    EXPECT_THROW((LaneWindow{11, 10}).validate(), std::invalid_argument);
+    EXPECT_NO_THROW((LaneWindow{10, 10}).validate());
+    EXPECT_NO_THROW((LaneWindow{1, 10}).validate());
+}
+
+TEST(LaneWindow, WindowEndSaturatesAtTickMax)
+{
+    const LaneWindow w{1000, 1000};
+    EXPECT_EQ(w.windowEnd(kTickMax - 10), kTickMax);
+    EXPECT_EQ(w.windowEnd(0), 999u);
+}
+
+/**
+ * The conservative-window safety property: for any W <= L, a message
+ * sent from inside window [start, windowEnd(start)] that satisfies the
+ * admission bound (deliver >= send_now + L) is due strictly after the
+ * window — so exchanging messages only at barriers can never deliver
+ * an event into a lane's past.
+ */
+TEST(LaneWindow, PropertyAdmissibleImpliesAfterWindow)
+{
+    std::uint32_t rng = 0xdecafbadu;
+    for (int trial = 0; trial < 20'000; ++trial) {
+        const Tick l = 1 + xorshift(rng) % 100'000;
+        const LaneWindow w{1 + xorshift(rng) % l, l};
+        ASSERT_NO_THROW(w.validate());
+        const Tick start = xorshift(rng) % 1'000'000'000;
+        const Tick send_now =
+            start + xorshift(rng) % w.windowTicks; // inside the window
+        ASSERT_LE(send_now, w.windowEnd(start));
+        const Tick deliver = send_now + l + xorshift(rng) % 1000;
+        ASSERT_TRUE(w.admissible(send_now, deliver));
+        EXPECT_GT(deliver, w.windowEnd(start));
+        // And anything cheaper than L is inadmissible.
+        EXPECT_FALSE(w.admissible(send_now, send_now + l - 1));
+    }
+}
+
+// ---------------------------------------------------------------------
+// LaneEventKernel
+// ---------------------------------------------------------------------
+
+TEST(LaneEventKernel, ClampsWorkersToGroups)
+{
+    LaneEventKernel k(4, 8, LaneWindow{100, 100});
+    EXPECT_EQ(k.groups(), 4u);
+    EXPECT_EQ(k.workers(), 4u);
+    LaneEventKernel k0(4, 0, LaneWindow{100, 100});
+    EXPECT_EQ(k0.workers(), 1u);
+}
+
+TEST(LaneEventKernel, BoundedRunAlignsEveryLaneClock)
+{
+    LaneEventKernel k(3, 1, LaneWindow{50, 50});
+    int ran = 0;
+    k.schedule(0, 10, [&] { ++ran; });
+    k.schedule(2, 500, [&] { ++ran; }); // past the limit: must not run
+    k.run(200);
+    EXPECT_EQ(ran, 1);
+    for (std::size_t g = 0; g < k.groups(); ++g)
+        EXPECT_EQ(k.lane(g).now(), 200u);
+    EXPECT_EQ(k.pending(), 1u);
+}
+
+TEST(LaneEventKernel, PostBelowLatencyFloorThrows)
+{
+    for (const std::size_t workers : {1u, 2u}) {
+        SCOPED_TRACE(workers);
+        LaneEventKernel k(2, workers, LaneWindow{100, 100});
+        k.schedule(0, 5, [&k] {
+            k.post(0, 1, k.lane(0).now() + 99, [] {});
+        });
+        EXPECT_THROW(k.run(), std::logic_error);
+    }
+}
+
+TEST(LaneEventKernel, PostToUnknownGroupThrows)
+{
+    LaneEventKernel k(2, 1, LaneWindow{100, 100});
+    k.schedule(0, 0, [&k] { k.post(0, 7, 1000, [] {}); });
+    EXPECT_THROW(k.run(), std::out_of_range);
+}
+
+/**
+ * Overflow path: one window sends far more cross-group messages than
+ * the outbox ring holds (kRingSlots), forcing the spill vector; the
+ * delivery order on the receiver must stay the (when, from, seq) merge
+ * order regardless of worker count.
+ */
+TEST(LaneEventKernel, RingOverflowPreservesMergeOrder)
+{
+    constexpr int kSends = 3000; // ~3x kRingSlots
+    constexpr Tick kL = 100;
+    std::vector<int> orders[2];
+    for (const std::size_t workers : {1u, 2u}) {
+        std::vector<int> &order =
+            orders[workers == 1u ? 0 : 1]; // filled by group 1 only
+        LaneEventKernel k(2, workers, LaneWindow{kL, kL});
+        k.schedule(0, 0, [&k, &order] {
+            const Tick now = k.lane(0).now();
+            for (int i = 0; i < kSends; ++i) {
+                k.post(0, 1, now + kL + i % 7,
+                       [&order, i] { order.push_back(i); });
+            }
+        });
+        k.run();
+        ASSERT_EQ(order.size(), static_cast<std::size_t>(kSends));
+        EXPECT_EQ(k.messagesMerged(), static_cast<std::uint64_t>(kSends));
+    }
+    EXPECT_EQ(orders[0], orders[1]);
+}
+
+/** The bench's chain shape at test scale, for the determinism gate. */
+struct TestChain
+{
+    LaneEventKernel *k;
+    std::uint64_t *executed; ///< [groups]
+    std::uint64_t *checksum; ///< [groups]
+    std::uint64_t target;
+    Tick crossLatency;
+    std::uint32_t group;
+    std::uint32_t rng;
+
+    void
+    operator()()
+    {
+        if (executed[group] >= target)
+            return;
+        ++executed[group];
+        const std::uint32_t x = xorshift(rng);
+        checksum[group] ^= (checksum[group] << 1) ^ x
+                           ^ static_cast<std::uint64_t>(
+                               k->lane(group).now());
+        if (x % 16 == 0) {
+            TestChain next = *this;
+            next.group = static_cast<std::uint32_t>(
+                (group + 1 + (x >> 4) % (k->groups() - 1)) % k->groups());
+            k->post(group, next.group,
+                    k->lane(group).now() + crossLatency + x % 64, next);
+            return;
+        }
+        k->lane(group).scheduleAfter(1 + x % 128, *this);
+    }
+};
+
+TEST(LaneEventKernel, ChecksumIdenticalAcrossWorkerCounts)
+{
+    constexpr std::size_t kGroups = 8;
+    constexpr Tick kL = 1000;
+    std::uint64_t reference = 0;
+    std::uint64_t reference_events = 0;
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE(workers);
+        LaneEventKernel k(kGroups, workers, LaneWindow{kL, kL});
+        std::vector<std::uint64_t> executed(kGroups, 0);
+        std::vector<std::uint64_t> checksum(kGroups, 0);
+        for (std::size_t g = 0; g < kGroups; ++g) {
+            k.schedule(g, static_cast<Tick>(g),
+                       TestChain{&k, executed.data(), checksum.data(),
+                                 4000, kL, static_cast<std::uint32_t>(g),
+                                 0xabcd1234u
+                                     + static_cast<std::uint32_t>(g)});
+        }
+        k.run();
+        std::uint64_t combined = 0;
+        std::uint64_t events = 0;
+        for (std::size_t g = 0; g < kGroups; ++g) {
+            combined = combined * 1315423911u ^ checksum[g];
+            events += executed[g];
+        }
+        EXPECT_GT(k.messagesMerged(), 0u);
+        if (workers == 1) {
+            reference = combined;
+            reference_events = events;
+            continue;
+        }
+        EXPECT_EQ(combined, reference);
+        EXPECT_EQ(events, reference_events);
+    }
+}
+
+// ---------------------------------------------------------------------
+// resolvedKernelLanes
+// ---------------------------------------------------------------------
+
+/** Restores SKYBYTE_SIM_LANES on scope exit. */
+struct LanesEnvGuard
+{
+    ~LanesEnvGuard() { unsetenv("SKYBYTE_SIM_LANES"); }
+    void
+    set(const char *value)
+    {
+        setenv("SKYBYTE_SIM_LANES", value, 1);
+    }
+};
+
+TEST(ResolvedKernelLanes, ConfigKnobAndEnvOverride)
+{
+    LanesEnvGuard env;
+    KernelConfig cfg;
+    EXPECT_EQ(resolvedKernelLanes(cfg), 1u);
+    cfg.lanes = 8;
+    EXPECT_EQ(resolvedKernelLanes(cfg), 8u);
+    env.set("2");
+    EXPECT_EQ(resolvedKernelLanes(cfg), 2u);
+    env.set("");
+    EXPECT_EQ(resolvedKernelLanes(cfg), 8u); // empty = unset
+}
+
+TEST(ResolvedKernelLanes, RejectsGarbageAndOutOfRange)
+{
+    LanesEnvGuard env;
+    KernelConfig cfg;
+    for (const char *bad : {"0", "65", "abc", "4x", "-1", " 4"}) {
+        SCOPED_TRACE(bad);
+        env.set(bad);
+        EXPECT_THROW(resolvedKernelLanes(cfg), std::invalid_argument);
+    }
+}
+
+// ---------------------------------------------------------------------
+// LaneBatchStager
+// ---------------------------------------------------------------------
+
+bool
+sameRecord(const TraceRecord &a, const TraceRecord &b)
+{
+    return a.computeOps == b.computeOps && a.isWrite == b.isWrite
+           && a.vaddr == b.vaddr;
+}
+
+TEST(LaneBatchStager, StagedStreamMatchesSerialRefill)
+{
+    WorkloadParams params;
+    params.numThreads = 4;
+    params.instrPerThread = 50'000;
+    // Two independent instances of the same spec: one drained serially,
+    // one through the stager. Their per-tid record streams must match
+    // byte for byte.
+    auto serial = makeWorkload("zipf", params);
+    auto staged = makeWorkload("zipf", params);
+    ASSERT_TRUE(serial->concurrentRefillSafe());
+
+    std::vector<std::vector<TraceRecord>> want(4);
+    TraceBatch batch;
+    for (int tid = 0; tid < 4; ++tid) {
+        while (std::uint32_t n = serial->refill(tid, batch)) {
+            for (std::uint32_t i = 0; i < n; ++i)
+                want[tid].push_back(batch.records[i]);
+        }
+    }
+
+    LaneBatchStager stager(*staged, 3);
+    EXPECT_EQ(stager.workers(), 3u);
+    std::vector<std::vector<TraceRecord>> got(4);
+    // Interleaved consumption, like four ThreadContexts taking turns.
+    bool drained[4] = {};
+    for (int live = 4; live > 0;) {
+        for (int tid = 0; tid < 4; ++tid) {
+            if (drained[tid])
+                continue;
+            const std::uint32_t n = stager.nextBatch(tid, batch);
+            if (n == 0) {
+                drained[tid] = true;
+                --live;
+                continue;
+            }
+            for (std::uint32_t i = 0; i < n; ++i)
+                got[tid].push_back(batch.records[i]);
+        }
+    }
+    stager.stop();
+
+    for (int tid = 0; tid < 4; ++tid) {
+        SCOPED_TRACE(tid);
+        ASSERT_EQ(got[tid].size(), want[tid].size());
+        for (std::size_t i = 0; i < want[tid].size(); ++i)
+            ASSERT_TRUE(sameRecord(got[tid][i], want[tid][i])) << i;
+        // Delivery-time accounting equals the serial emitted count once
+        // the stream is fully consumed.
+        EXPECT_EQ(stager.instructionsDelivered(tid),
+                  serial->instructionsEmitted(tid));
+    }
+}
+
+TEST(LaneBatchStager, RejectsUnsafeWorkloads)
+{
+    WorkloadParams params;
+    params.numThreads = 2;
+    params.instrPerThread = 1000;
+    // The one-record-per-batch wrapper keeps the conservative default
+    // (concurrentRefillSafe() == false), so staging must refuse it.
+    SingleRecordWorkload unsafe(makeWorkload("zipf", params));
+    ASSERT_FALSE(unsafe.concurrentRefillSafe());
+    EXPECT_THROW(LaneBatchStager(unsafe, 2), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end fingerprints
+// ---------------------------------------------------------------------
+
+SimConfig
+laneTestConfig(const std::string &variant)
+{
+    SimConfig cfg = makeConfig(variant);
+    cfg.cpu.l1d.sizeBytes = 16 * 1024;
+    cfg.cpu.l2.sizeBytes = 64 * 1024;
+    cfg.cpu.llc.sizeBytes = 1024 * 1024;
+    cfg.ssdCache.writeLogBytes = 512 * 1024;
+    cfg.ssdCache.dataCacheBytes = 3584 * 1024;
+    cfg.hostMem.promotedBytesMax = 16ULL * 1024 * 1024;
+    return cfg;
+}
+
+/**
+ * The PR's acceptance gate: the `lanes` knob must be invisible in the
+ * results. Every (workload, variant) fingerprint at lanes in {2,4,8}
+ * must be byte-identical to the lanes=1 run — toJson includes every
+ * counter in SimResult, so one drifting stat fails the string compare.
+ */
+TEST(LaneFingerprint, LanesKnobIsResultInvariant)
+{
+    ExperimentOptions opt;
+    opt.instrPerThread = 20'000;
+    opt.footprintBytes = 32ULL * 1024 * 1024;
+    for (const char *workload : {"zipf", "scan", "ptrchase"}) {
+        for (const char *variant : {"SkyByte-Full", "Base-CSSD"}) {
+            SCOPED_TRACE(std::string(workload) + " / " + variant);
+            SimConfig cfg = laneTestConfig(variant);
+            cfg.kernel.lanes = 1;
+            const std::string reference =
+                toJson(runConfig(cfg, workload, opt));
+            for (const std::uint32_t lanes : {2u, 4u, 8u}) {
+                SCOPED_TRACE(lanes);
+                cfg.kernel.lanes = lanes;
+                EXPECT_EQ(toJson(runConfig(cfg, workload, opt)),
+                          reference);
+            }
+        }
+    }
+}
+
+TEST(LaneFingerprint, EnvOverrideIsResultInvariant)
+{
+    ExperimentOptions opt;
+    opt.instrPerThread = 20'000;
+    opt.footprintBytes = 32ULL * 1024 * 1024;
+    SimConfig cfg = laneTestConfig("SkyByte-Full");
+    const std::string reference = toJson(runConfig(cfg, "zipf", opt));
+    LanesEnvGuard env;
+    env.set("4");
+    EXPECT_EQ(toJson(runConfig(cfg, "zipf", opt)), reference);
+}
+
+} // namespace
+} // namespace skybyte

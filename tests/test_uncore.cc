@@ -54,15 +54,6 @@ class ManualBackend : public MemoryBackend
     std::vector<Addr> writes;
 };
 
-std::shared_ptr<MissStatus>
-makeStatus(Addr line)
-{
-    auto st = std::make_shared<MissStatus>();
-    st->lineAddr = line;
-    st->owner = nullptr; // no core callbacks in these tests
-    return st;
-}
-
 struct UncoreFixture
 {
     UncoreFixture()
@@ -70,6 +61,16 @@ struct UncoreFixture
         cfg.llc.sizeBytes = 64 * kCachelineBytes;
         cfg.llc.mshrs = 4;
         uncore = std::make_unique<Uncore>(cfg, eq, backend);
+    }
+
+    /** Slab-backed miss record (MissRef replaced the shared_ptr). */
+    MissRef
+    makeStatus(Addr line)
+    {
+        MissRef st = uncore->makeMiss();
+        st->lineAddr = line;
+        st->owner = nullptr; // no core callbacks in these tests
+        return st;
     }
 
     EventQueue eq;
@@ -81,7 +82,7 @@ struct UncoreFixture
 TEST(Uncore, MissGoesToBackendOnce)
 {
     UncoreFixture fx;
-    auto s1 = makeStatus(0x1000);
+    auto s1 = fx.makeStatus(0x1000);
     EXPECT_EQ(fx.uncore->load(s1, 0), UncoreLoadResult::Pending);
     EXPECT_EQ(fx.backend.pending.size(), 1u);
     EXPECT_EQ(fx.uncore->llcMisses(), 1u);
@@ -90,8 +91,8 @@ TEST(Uncore, MissGoesToBackendOnce)
 TEST(Uncore, SameLineCoalesces)
 {
     UncoreFixture fx;
-    auto s1 = makeStatus(0x2000);
-    auto s2 = makeStatus(0x2000);
+    auto s1 = fx.makeStatus(0x2000);
+    auto s2 = fx.makeStatus(0x2000);
     fx.uncore->load(s1, 0);
     EXPECT_EQ(fx.uncore->load(s2, 0), UncoreLoadResult::Pending);
     // One backend request serves both statuses.
@@ -103,27 +104,27 @@ TEST(Uncore, MshrCapacityBlocks)
 {
     UncoreFixture fx; // 4 LLC MSHRs
     for (Addr a = 0; a < 4; ++a)
-        EXPECT_EQ(fx.uncore->load(makeStatus(a * 0x1000), 0),
+        EXPECT_EQ(fx.uncore->load(fx.makeStatus(a * 0x1000), 0),
                   UncoreLoadResult::Pending);
-    EXPECT_EQ(fx.uncore->load(makeStatus(0x9000), 0),
+    EXPECT_EQ(fx.uncore->load(fx.makeStatus(0x9000), 0),
               UncoreLoadResult::MshrBlocked);
     EXPECT_EQ(fx.uncore->llcMshrBlocks(), 1u);
     // A response frees the entry.
     fx.backend.respondAll(MemResponseKind::Data);
-    EXPECT_EQ(fx.uncore->load(makeStatus(0x9000), 0),
+    EXPECT_EQ(fx.uncore->load(fx.makeStatus(0x9000), 0),
               UncoreLoadResult::Pending);
 }
 
 TEST(Uncore, DataResponseFillsL3)
 {
     UncoreFixture fx;
-    auto s = makeStatus(0x3000);
+    auto s = fx.makeStatus(0x3000);
     fx.uncore->load(s, 0);
     fx.backend.respondAll(MemResponseKind::Data, 777);
     EXPECT_TRUE(s->done);
     EXPECT_EQ(s->value, 777u);
     // Subsequent load hits in L3 with the functional value.
-    auto s2 = makeStatus(0x3000);
+    auto s2 = fx.makeStatus(0x3000);
     EXPECT_EQ(fx.uncore->load(s2, 0), UncoreLoadResult::HitL3);
     EXPECT_EQ(s2->value, 777u);
 }
@@ -131,8 +132,8 @@ TEST(Uncore, DataResponseFillsL3)
 TEST(Uncore, HintMarksAllWaiters)
 {
     UncoreFixture fx;
-    auto s1 = makeStatus(0x4000);
-    auto s2 = makeStatus(0x4000);
+    auto s1 = fx.makeStatus(0x4000);
+    auto s2 = fx.makeStatus(0x4000);
     fx.uncore->load(s1, 0);
     fx.uncore->load(s2, 0);
     fx.backend.respondAll(MemResponseKind::DelayHint);
@@ -140,7 +141,7 @@ TEST(Uncore, HintMarksAllWaiters)
     EXPECT_TRUE(s2->hinted);
     EXPECT_FALSE(s1->done);
     // The transaction ended: the line is NOT in L3.
-    auto s3 = makeStatus(0x4000);
+    auto s3 = fx.makeStatus(0x4000);
     EXPECT_EQ(fx.uncore->load(s3, 0), UncoreLoadResult::Pending);
 }
 
@@ -156,7 +157,7 @@ TEST(Uncore, DirtyL3VictimWritesBack)
 TEST(Uncore, OffchipHistogramRecordsLatency)
 {
     UncoreFixture fx;
-    auto s = makeStatus(0x5000);
+    auto s = fx.makeStatus(0x5000);
     s->issuedAt = 0;
     fx.uncore->load(s, 0);
     // Respond at a later simulated time.

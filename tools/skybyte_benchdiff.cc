@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Bench-report comparator: the CI gate that keeps the committed bench
+ * baselines honest.
+ *
+ *   skybyte_benchdiff [--tol=PCT] [--keys=a,b,...] [--regress-only]
+ *                     baseline.json current.json
+ *
+ * Compares two BENCH_*.json reports (sim/benchdiff.h): the documents
+ * must match structurally (same metrics, same layout — anything else
+ * means the baseline needs regenerating), and paired numbers compare
+ * under a relative tolerance. --keys restricts gating to numbers whose
+ * dotted path contains one of the given substrings, which is how CI
+ * pins machine-independent ratios ("speedup") while ignoring absolute
+ * events-per-second that depend on the runner. --regress-only fails
+ * only when current is below baseline, so an improvement prints but
+ * passes (refresh the baseline at leisure).
+ *
+ * Exit codes (the CLI contract, also in the README):
+ *   0  within tolerance
+ *   1  usage error
+ *   2  runtime error (I/O, structural mismatch)
+ *   3  drift beyond tolerance
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "sim/benchdiff.h"
+
+using namespace skybyte;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: skybyte_benchdiff [--tol=PCT] [--keys=a,b,...]\n"
+        "                         [--regress-only] baseline.json"
+        " current.json\n"
+        "  --tol=PCT       allowed relative drift, percent"
+        " (default 5)\n"
+        "  --keys=a,b,...  gate only numbers whose dotted JSON path\n"
+        "                  contains one of these substrings\n"
+        "  --regress-only  fail only when current < baseline\n"
+        "exit codes: 0 within tolerance; 1 usage; 2 error;"
+        " 3 drift\n");
+}
+
+std::vector<std::string>
+splitCsv(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        const std::size_t comma = text.find(',', begin);
+        const std::size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        if (end > begin)
+            out.push_back(text.substr(begin, end - begin));
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchDiffOptions opt;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--tol=", 0) == 0) {
+            char *end = nullptr;
+            opt.tolPct = std::strtod(arg.c_str() + 6, &end);
+            if (end == nullptr || *end != '\0' || opt.tolPct < 0) {
+                std::fprintf(stderr, "benchdiff: bad --tol: %s\n",
+                             arg.c_str());
+                return 1;
+            }
+        } else if (arg.rfind("--keys=", 0) == 0) {
+            opt.keys = splitCsv(arg.substr(7));
+            if (opt.keys.empty()) {
+                std::fprintf(stderr, "benchdiff: empty --keys\n");
+                return 1;
+            }
+        } else if (arg == "--regress-only") {
+            opt.regressOnly = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "benchdiff: unknown option: %s\n",
+                         arg.c_str());
+            usage();
+            return 1;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2) {
+        usage();
+        return 1;
+    }
+
+    try {
+        const std::string baseline = readFileText(files[0]);
+        const std::string current = readFileText(files[1]);
+        const std::vector<BenchDrift> drifts =
+            diffBenchJson(baseline, current, opt);
+        if (drifts.empty()) {
+            std::printf("benchdiff: %s vs %s: within %.3g%%\n",
+                        files[0].c_str(), files[1].c_str(), opt.tolPct);
+            return 0;
+        }
+        for (const BenchDrift &d : drifts)
+            std::printf("%s\n", formatBenchDrift(d, opt).c_str());
+        std::printf("benchdiff: %zu drift(s) beyond %.3g%%\n",
+                    drifts.size(), opt.tolPct);
+        return 3;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "benchdiff: %s\n", e.what());
+        return 2;
+    }
+}
