@@ -287,6 +287,46 @@ struct KernelConfig
     std::uint32_t lanes = 1;
 };
 
+/**
+ * Per-tenant QoS controls for co-located `mix:` workloads. All knobs
+ * default off, so single-tenant runs and unconfigured mixes behave —
+ * and fingerprint — exactly as before. Tenant weights come from the
+ * per-tenant `qos=` spec key (default 1.0); every control divides its
+ * resource proportionally to weight share.
+ */
+struct QosConfig
+{
+    /**
+     * Weighted admission control at the SSD controller (`qos_policy=
+     * weighted`): each tenant gets creditsPerEpoch * weight-share
+     * request credits per epoch, and a request arriving after its
+     * tenant's credits are spent is admitted at the start of the next
+     * epoch with credit left — a deterministic token bucket that
+     * throttles noisy neighbors at the device front end.
+     */
+    bool weightedAdmission = false;
+    /** Admission epoch length (`qos_epoch_us`). */
+    Tick epochTicks = usToTicks(10.0);
+    /** Total request credits issued per epoch (`qos_credits_per_epoch`),
+     *  split across tenants by weight share (>= 1 credit each). */
+    std::uint32_t creditsPerEpoch = 256;
+    /**
+     * Per-tenant write-log entry quotas (`qos_write_log_quota`): a
+     * tenant may hold at most capacity * weight-share live log entries;
+     * appends beyond the quota are admitted but surcharged one extra
+     * admission credit (and counted per tenant), pushing log pressure
+     * back onto its source.
+     */
+    bool writeLogQuota = false;
+    /**
+     * Per-tenant migration-budget shares (`qos_migration_share`): a
+     * tenant's promoted regions may hold at most promotedBytesMax *
+     * weight-share bytes of host DRAM; promotions beyond the share are
+     * rejected (counted in MigrationStats::rejectedTenantShare).
+     */
+    bool migrationShare = false;
+};
+
 /** Complete system configuration. */
 struct SimConfig
 {
@@ -301,6 +341,7 @@ struct SimConfig
     SsdCacheConfig ssdCache{};
     HostMemConfig hostMem{};
     PolicyConfig policy{};
+    QosConfig qos{};
     /** All application data in host DRAM (the DRAM-Only ideal). */
     bool dramOnly = false;
     /** Precondition the SSD so GC triggers (§VI-A). */

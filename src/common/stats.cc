@@ -29,7 +29,13 @@ LatencyHistogram::bucketUpperBound(int b)
     if (msb >= 62)
         return kTickMax;
     const Tick base = Tick{1} << msb;
-    return base + ((base >> 3) * (sub + 1));
+    if (msb >= 3)
+        return base + ((base >> 3) * (sub + 1));
+    // Low octaves: base/8 truncates to zero, which collapsed all the
+    // sub-bucket bounds of an octave onto `base` (buckets 8 and 12 both
+    // reported 2). Round the fractional sub-step up instead, keeping
+    // the bounds strictly increasing across the reachable low buckets.
+    return base + ((base * (sub + 1) + 7) >> 3);
 }
 
 void
@@ -52,12 +58,20 @@ LatencyHistogram::percentileTicks(double p) const
     if (count_ == 0)
         return 0;
     p = std::clamp(p, 0.0, 1.0);
-    const auto target = static_cast<std::uint64_t>(
-        p * static_cast<double>(count_));
+    // Ceil-rank: the p-th percentile is the smallest sample with at
+    // least ceil(p * count) samples at or below it. Truncating instead
+    // resolves p99 of 100 samples to rank 98, and floating-point
+    // products like 0.29 * 100 = 28.999... silently drop a rank.
+    std::uint64_t rank = 0;
+    if (p > 0.0) {
+        rank = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   std::ceil(p * static_cast<double>(count_))));
+    }
     std::uint64_t seen = 0;
     for (int b = 0; b < kNumBuckets; ++b) {
         seen += buckets_[b];
-        if (seen >= target && buckets_[b] > 0)
+        if (seen >= rank && buckets_[b] > 0)
             return bucketUpperBound(b);
     }
     return bucketUpperBound(kNumBuckets - 1);
@@ -121,10 +135,13 @@ RatioHistogram::cdfAt(double r) const
     if (count_ == 0)
         return 0.0;
     r = std::clamp(r, 0.0, 1.0);
+    // Sum only the buckets wholly below r. Bucket b spans
+    // [b/64, (b+1)/64), so including the bucket containing r would
+    // also count samples strictly greater than r (the old behavior).
     const int limit = std::min(static_cast<int>(r * kNumBuckets),
-                               kNumBuckets - 1);
+                               kNumBuckets);
     std::uint64_t cum = 0;
-    for (int b = 0; b <= limit; ++b)
+    for (int b = 0; b < limit; ++b)
         cum += buckets_[b];
     return static_cast<double>(cum) / static_cast<double>(count_);
 }

@@ -37,7 +37,11 @@ class LatencyHistogram
     /** Arithmetic mean in ticks (0 when empty). */
     double meanTicks() const;
 
-    /** Approximate p-th percentile (p in [0,1]) in ticks. */
+    /**
+     * Approximate p-th percentile (p in [0,1]) in ticks: the upper
+     * bound of the bucket holding the ceil(p * count)-th smallest
+     * sample (rank clamped >= 1 for p > 0).
+     */
     Tick percentileTicks(double p) const;
 
     /** Merge another histogram into this one. */
@@ -77,7 +81,11 @@ class RatioHistogram
 
     double mean() const;
 
-    /** Fraction of samples with ratio <= r. */
+    /**
+     * Fraction of samples in buckets wholly below @p r — approximately
+     * P(x < r), exclusive of the partial bucket containing @p r, so
+     * cdfAt(0) == 0 and cdfAt(1) == 1.
+     */
     double cdfAt(double r) const;
 
     /** Emit (ratio, cumulative_fraction) pairs for plotting. */

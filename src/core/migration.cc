@@ -129,11 +129,40 @@ MigrationEngine::onSsdAccess(std::uint64_t lpn, Tick now)
     promote(base, now, usToTicks(3.0));
 }
 
+void
+MigrationEngine::setTenantShares(std::vector<Addr> device_starts,
+                                 std::vector<std::uint64_t> share_bytes)
+{
+    tenantStarts_ = std::move(device_starts);
+    tenantShareBytes_ = std::move(share_bytes);
+    tenantPromotedBytes_.assign(tenantShareBytes_.size(), 0);
+}
+
+std::size_t
+MigrationEngine::tenantOfBase(std::uint64_t base) const
+{
+    const Addr dev = base * kPageBytes;
+    std::size_t t = tenantStarts_.size() - 1;
+    while (t > 0 && dev < tenantStarts_[t])
+        t--;
+    return t;
+}
+
 bool
 MigrationEngine::promote(std::uint64_t base, Tick now, Tick extra_cost)
 {
     const std::uint64_t region_bytes =
         static_cast<std::uint64_t>(regionPages_) * kPageBytes;
+    // Per-tenant share cap first: a promotion the cap will reject must
+    // not demote other tenants' regions on its way to the rejection.
+    if (!tenantShareBytes_.empty()) {
+        const std::size_t t = tenantOfBase(base);
+        if (tenantPromotedBytes_[t] + region_bytes
+            > tenantShareBytes_[t]) {
+            migStats_.rejectedTenantShare++;
+            return false;
+        }
+    }
     // Anti-thrash guard: when the host budget is full, only displace a
     // region that has been idle for a while. If even the coldest
     // promoted region is recently used, the hot set exceeds the budget
@@ -157,6 +186,10 @@ MigrationEngine::promote(std::uint64_t base, Tick now, Tick extra_cost)
     // bursts tracked by the PLB entry (chunk-by-chunk for huge pages).
     const Tick t_irq = now + cfg_.hostMem.msixLatency + extra_cost;
     scheduleBurst(base, 0, t_irq);
+    // The PLB entry already holds host DRAM, so the share is charged
+    // from the start of the copy, mirroring promotedPages().
+    if (!tenantShareBytes_.empty())
+        tenantPromotedBytes_[tenantOfBase(base)] += region_bytes;
     return true;
 }
 
@@ -339,6 +372,13 @@ MigrationEngine::demoteRegion(std::uint64_t base, Tick now)
     regionSlab_.release(region);
     if (cfg_.hostMem.reclaim == ReclaimPolicy::ActiveInactive)
         lists_.erase(base); // no-op when chosen via selectVictim
+    if (!tenantShareBytes_.empty()) {
+        const std::uint64_t region_bytes =
+            static_cast<std::uint64_t>(regionPages_) * kPageBytes;
+        std::uint64_t &held =
+            tenantPromotedBytes_[tenantOfBase(base)];
+        held -= std::min(held, region_bytes);
+    }
 
     migStats_.demotions++;
     migStats_.tlbShootdowns++;

@@ -59,6 +59,8 @@ struct MigrationStats
     std::uint64_t tlbShootdowns = 0;
     std::uint64_t inflightWriteRedirects = 0; ///< writes sent to host copy
     std::uint64_t nvmeNotifies = 0;           ///< huge-page drops (§IV)
+    /** Promotions rejected by a per-tenant share cap (QoS). */
+    std::uint64_t rejectedTenantShare = 0;
 };
 
 /**
@@ -96,6 +98,25 @@ class MigrationEngine
 
     /** TPP policy entry: sample an SSD access host-side. */
     void onSsdAccess(std::uint64_t lpn, Tick now);
+
+    /**
+     * Per-tenant migration-budget shares (QosConfig::migrationShare):
+     * tenant t (device regions starting at @p device_starts[t]) may
+     * hold at most @p share_bytes[t] bytes of promoted host DRAM;
+     * promotions beyond the share are rejected and counted in
+     * MigrationStats::rejectedTenantShare. Both vectors are indexed by
+     * tenant in declaration order; empty share vectors disable the cap.
+     */
+    void setTenantShares(std::vector<Addr> device_starts,
+                         std::vector<std::uint64_t> share_bytes);
+
+    /** Promoted bytes currently attributed to @p tenant (QoS view). */
+    std::uint64_t tenantPromotedBytes(std::size_t tenant) const
+    {
+        return tenant < tenantPromotedBytes_.size()
+                   ? tenantPromotedBytes_[tenant]
+                   : 0;
+    }
 
     /** 4 KB pages per migrated region (1, or 512 in huge-page mode). */
     std::uint32_t regionPages() const { return regionPages_; }
@@ -199,6 +220,9 @@ class MigrationEngine
         return base * kPageBytes < cfg_.hostMem.pinnedDeviceBytes;
     }
 
+    /** Tenant owning region @p base (valid only with shares set). */
+    std::size_t tenantOfBase(std::uint64_t base) const;
+
     /** Idle window a victim must exceed before displacement. */
     static constexpr Tick kAntiThrashIdle =
         1000 * 1000 * kTicksPerNs; // 1 ms
@@ -231,6 +255,11 @@ class MigrationEngine
     FlatMap<std::vector<std::uint64_t>> migratingDirty_;
     FlatMap<std::uint32_t> tppScores_;
     MigrationStats migStats_;
+    /** @name Per-tenant share state (empty = shares disabled). @{ */
+    std::vector<Addr> tenantStarts_;
+    std::vector<std::uint64_t> tenantShareBytes_;
+    std::vector<std::uint64_t> tenantPromotedBytes_;
+    /** @} */
 };
 
 } // namespace skybyte

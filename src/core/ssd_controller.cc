@@ -90,17 +90,89 @@ SsdController::setTenantBounds(std::vector<Addr> starts, Addr end_bytes)
     tenantStats_.assign(tenantStarts_.size(), SsdTenantCounters{});
 }
 
-SsdTenantCounters *
-SsdController::tenantFor(Addr dev)
+int
+SsdController::tenantIndexFor(Addr dev) const
 {
     // Addresses past the last tenant's region (a sequential prefetch
     // running off the end of the mix footprint) belong to nobody.
     if (tenantStarts_.empty() || dev >= tenantEnd_)
-        return nullptr;
+        return -1;
     std::size_t t = tenantStarts_.size() - 1;
     while (t > 0 && dev < tenantStarts_[t])
         t--;
-    return &tenantStats_[t];
+    return static_cast<int>(t);
+}
+
+SsdTenantCounters *
+SsdController::tenantFor(Addr dev)
+{
+    const int t = tenantIndexFor(dev);
+    return t < 0 ? nullptr : &tenantStats_[static_cast<std::size_t>(t)];
+}
+
+void
+SsdController::configureQos(const QosConfig &qos,
+                            const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (const double w : weights)
+        total += w;
+    if (weights.size() != tenantStarts_.size() || total <= 0.0)
+        throw std::invalid_argument(
+            "configureQos needs one positive weight per tenant bound");
+    if (qos.weightedAdmission) {
+        weightedAdmission_ = true;
+        qosEpochTicks_ = std::max<Tick>(qos.epochTicks, 1);
+        admission_.assign(weights.size(), AdmissionState{});
+        for (std::size_t t = 0; t < weights.size(); ++t) {
+            admission_[t].budget = std::max<std::uint32_t>(
+                1, static_cast<std::uint32_t>(
+                       static_cast<double>(qos.creditsPerEpoch)
+                       * weights[t] / total));
+        }
+    }
+    if (qos.writeLogQuota && log_ != nullptr) {
+        const auto cap = static_cast<double>(
+            log_->activeBuffer().capacityEntries());
+        std::vector<std::uint64_t> quotas(weights.size());
+        for (std::size_t t = 0; t < weights.size(); ++t) {
+            quotas[t] = std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(cap * weights[t] / total));
+        }
+        log_->setTenantQuotas(std::move(quotas));
+    }
+}
+
+Tick
+SsdController::admit(int tenant, Tick t_arr, std::uint32_t cost)
+{
+    if (!weightedAdmission_ || tenant < 0
+        || static_cast<std::size_t>(tenant) >= admission_.size())
+        return t_arr;
+    AdmissionState &st = admission_[static_cast<std::size_t>(tenant)];
+    const std::uint64_t e = t_arr / qosEpochTicks_;
+    // Epochs only move forward: a same-tick replay of queued lane events
+    // must spend from the same bucket it spent from the first time.
+    if (e > st.epoch) {
+        st.epoch = e;
+        st.used = 0;
+    }
+    for (std::uint32_t c = 0; c < cost; ++c) {
+        while (st.used >= st.budget) {
+            st.epoch++;
+            st.used = 0;
+        }
+        st.used++;
+    }
+    // Pace the spent credit to its slot WITHIN the epoch rather than
+    // admitting every held request at the epoch boundary: a boundary
+    // release synchronizes the whole backlog into one burst whose
+    // queueing spike hits the other tenants' tail latency — the exact
+    // thing the throttle exists to protect.
+    const Tick slot = st.epoch * qosEpochTicks_
+                      + static_cast<Tick>(st.used - 1)
+                            * (qosEpochTicks_ / st.budget);
+    return std::max<Tick>(t_arr, slot);
 }
 
 Tick
@@ -181,7 +253,12 @@ SsdController::read(Addr dev_line_addr, Tick when, MemCallback cb)
 {
     const std::uint64_t lpn = pageNumber(dev_line_addr);
     const std::uint32_t off = lineInPage(dev_line_addr);
-    const Tick t_arr = link_.deliverToDevice(when, kHeaderBytes);
+    const Tick t_link = link_.deliverToDevice(when, kHeaderBytes);
+    const int tenant_idx = tenantIndexFor(dev_line_addr);
+    // Weighted admission (QoS): a tenant past its epoch credit budget
+    // has the request held at the device front end; the late response
+    // backpressures that tenant's cores through their ROB/MSHR limits.
+    const Tick t_arr = admit(tenant_idx, t_link);
     const Tick t_idx = t_arr + indexLatency();
     touchForPromotion(lpn, t_arr);
 
@@ -191,7 +268,14 @@ SsdController::read(Addr dev_line_addr, Tick when, MemCallback cb)
         log_val = log_->lookup(dev_line_addr);
     CachedPage *page = cache_.lookup(lpn);
 
-    SsdTenantCounters *tenant = tenantFor(dev_line_addr);
+    SsdTenantCounters *tenant =
+        tenant_idx < 0
+            ? nullptr
+            : &tenantStats_[static_cast<std::size_t>(tenant_idx)];
+    if (tenant != nullptr && t_arr > t_link) {
+        tenant->delayedReads++;
+        tenant->throttleDelayTicks += t_arr - t_link;
+    }
 
     if (page != nullptr || log_val.has_value()) {
         LineValue value;
@@ -211,8 +295,10 @@ SsdController::read(Addr dev_line_addr, Tick when, MemCallback cb)
             dram_.serviceAt(t_idx, kCachelineBytes, dev_line_addr);
         const Tick t_resp = link_.deliverToHost(t_data, kCachelineBytes);
         stats_.amatReads++;
+        // Admission hold time (t_arr - t_link) is QoS throttling, not
+        // protocol: it lands in the tenant's throttleDelayTicks instead.
         stats_.protocolTicks += static_cast<double>(
-            (t_arr - when) + (t_resp - t_data));
+            (t_link - when) + (t_resp - t_data));
         stats_.indexingTicks += static_cast<double>(indexLatency());
         stats_.ssdDramTicks += static_cast<double>(t_data - t_idx);
         MemResponse resp;
@@ -403,10 +489,29 @@ SsdController::write(Addr dev_line_addr, LineValue value, Tick when)
 {
     const std::uint64_t lpn = pageNumber(dev_line_addr);
     const std::uint32_t off = lineInPage(dev_line_addr);
-    const Tick t_arr = link_.deliverToDevice(when, kCachelineBytes);
+    const Tick t_link = link_.deliverToDevice(when, kCachelineBytes);
+    const int tenant_idx = tenantIndexFor(dev_line_addr);
+    SsdTenantCounters *tenant =
+        tenant_idx < 0
+            ? nullptr
+            : &tenantStats_[static_cast<std::size_t>(tenant_idx)];
+    // Over-quota log residency pays a one-credit admission surcharge,
+    // so a tenant hogging the write log drains its epoch budget twice
+    // as fast (QosConfig::writeLogQuota).
+    std::uint32_t cost = 1;
+    if (logEnabled() && tenant_idx >= 0
+        && log_->overQuota(static_cast<std::size_t>(tenant_idx))) {
+        cost = 2;
+        if (tenant != nullptr)
+            tenant->logOverQuota++;
+    }
+    const Tick t_arr = admit(tenant_idx, t_link, cost);
     const Tick t_idx = t_arr + indexLatency();
+    if (tenant != nullptr && t_arr > t_link) {
+        tenant->delayedWrites++;
+        tenant->throttleDelayTicks += t_arr - t_link;
+    }
     stats_.writes++;
-    SsdTenantCounters *tenant = tenantFor(dev_line_addr);
     if (tenant != nullptr)
         tenant->writes++;
     touchForPromotion(lpn, t_arr);
@@ -414,7 +519,7 @@ SsdController::write(Addr dev_line_addr, LineValue value, Tick when)
     if (logEnabled()) {
         // W1: append to the log; W2: parallel update of a cached copy;
         // W3: index update (inside append).
-        log_->append(dev_line_addr, value);
+        log_->append(dev_line_addr, value, tenant_idx);
         if (tenant != nullptr)
             tenant->logAppends++;
         dram_.serviceAt(t_idx, kCachelineBytes, dev_line_addr);

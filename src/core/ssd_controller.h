@@ -104,6 +104,12 @@ struct SsdTenantCounters
     std::uint64_t flashPageReads = 0;
     /** Summed flash read latency of those arrivals (ticks). */
     double flashReadTicks = 0;
+    /** @name QoS enforcement effects (zero unless configureQos ran). @{ */
+    std::uint64_t delayedReads = 0;  ///< reads held by admission credits
+    std::uint64_t delayedWrites = 0; ///< writes held by admission credits
+    std::uint64_t throttleDelayTicks = 0; ///< total admission hold time
+    std::uint64_t logOverQuota = 0; ///< writes arriving past the quota
+    /** @} */
 };
 
 /**
@@ -195,6 +201,20 @@ class SsdController
     {
         return tenantStats_;
     }
+
+    /**
+     * Arm the per-tenant QoS controls (§ QoS extension). @p weights are
+     * the relative tenant weights in setTenantBounds order; they are
+     * normalised internally. With QosConfig::weightedAdmission each
+     * tenant gets max(1, creditsPerEpoch x share) admission credits per
+     * epochTicks window, and requests beyond the budget are admitted at
+     * the start of the first epoch with spare credit. With
+     * QosConfig::writeLogQuota each tenant's live write-log entries are
+     * capped at capacity x share; over-quota writes pay a one-credit
+     * admission surcharge. Requires setTenantBounds to have run first.
+     */
+    void configureQos(const QosConfig &qos,
+                      const std::vector<double> &weights);
 
   private:
     /** One line read waiting on an in-flight fetch (intrusive FIFO). */
@@ -293,6 +313,17 @@ class SsdController
      */
     SsdTenantCounters *tenantFor(Addr dev);
 
+    /** Tenant index for @p dev, or -1 when accounting is disabled. */
+    int tenantIndexFor(Addr dev) const;
+
+    /**
+     * Deterministic epoch token bucket: spend @p cost credits of
+     * @p tenant and return the admission time for a request arriving at
+     * @p t_arr. Identity when weighted admission is off or the address
+     * belongs to no tenant.
+     */
+    Tick admit(int tenant, Tick t_arr, std::uint32_t cost = 1);
+
     const SimConfig &cfg_;
     EventQueue &eq_;
     CxlLink &link_;
@@ -324,6 +355,17 @@ class SsdController
     std::vector<Addr> tenantStarts_;
     Addr tenantEnd_ = 0;
     std::vector<SsdTenantCounters> tenantStats_;
+
+    /** Per-tenant admission token-bucket state (see admit()). */
+    struct AdmissionState
+    {
+        std::uint64_t epoch = 0;  ///< last epoch with credit spent
+        std::uint32_t used = 0;   ///< credits spent in that epoch
+        std::uint32_t budget = 0; ///< credits granted per epoch
+    };
+    bool weightedAdmission_ = false;
+    Tick qosEpochTicks_ = 1;
+    std::vector<AdmissionState> admission_;
 
     /** Request/response header payload sizes on the link (bytes). */
     static constexpr std::uint32_t kHeaderBytes = 16;

@@ -76,9 +76,18 @@ WriteLogBuffer::WriteLogBuffer(std::uint64_t capacity_bytes,
       initialEntries_(initial_entries), maxLoad_(max_load)
 {}
 
-bool
-WriteLogBuffer::append(Addr line_addr, LineValue value)
+void
+WriteLogBuffer::setTenantCount(std::size_t n)
 {
+    tenantEntries_.assign(n, 0);
+}
+
+bool
+WriteLogBuffer::append(Addr line_addr, LineValue value, int tenant)
+{
+    if (tenant >= 0
+        && static_cast<std::size_t>(tenant) < tenantEntries_.size())
+        tenantEntries_[static_cast<std::size_t>(tenant)]++;
     const std::uint64_t lpa = pageNumber(line_addr);
     const std::uint32_t off = lineInPage(line_addr);
     const auto log_off = static_cast<std::uint32_t>(entries_.size());
@@ -159,6 +168,7 @@ WriteLogBuffer::clear()
     entries_.clear();
     index_.clear();
     indexBytes_ = 0;
+    std::fill(tenantEntries_.begin(), tenantEntries_.end(), 0);
 }
 
 WriteLog::WriteLog(std::uint64_t capacity_bytes,
@@ -168,14 +178,22 @@ WriteLog::WriteLog(std::uint64_t capacity_bytes,
 {}
 
 void
-WriteLog::append(Addr line_addr, LineValue value)
+WriteLog::append(Addr line_addr, LineValue value, int tenant)
 {
     if (active_.full())
         stats_.overflowAppends++;
-    if (active_.append(line_addr, value))
+    if (active_.append(line_addr, value, tenant))
         stats_.updateHits++;
     stats_.appends++;
     stats_.indexBytesPeak = std::max(stats_.indexBytesPeak, indexBytes());
+}
+
+void
+WriteLog::setTenantQuotas(std::vector<std::uint64_t> quotas)
+{
+    tenantQuotas_ = std::move(quotas);
+    active_.setTenantCount(tenantQuotas_.size());
+    standby_.setTenantCount(tenantQuotas_.size());
 }
 
 std::optional<LineValue>

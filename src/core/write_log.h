@@ -102,9 +102,21 @@ class WriteLogBuffer
     /**
      * Append one written line. Appending past capacity is allowed (the
      * caller accounts it as overflow) so that host writes never block.
+     * @param tenant owning-tenant index for per-tenant QoS accounting;
+     *               -1 (the default) skips it
      * @retval true if this superseded an older entry for the same line
      */
-    bool append(Addr line_addr, LineValue value);
+    bool append(Addr line_addr, LineValue value, int tenant = -1);
+
+    /** Size the per-tenant append counters (resets them to zero). */
+    void setTenantCount(std::size_t n);
+
+    /** Entries appended by @p tenant since the last clear(). */
+    std::uint64_t tenantEntries(std::size_t tenant) const
+    {
+        return tenant < tenantEntries_.size() ? tenantEntries_[tenant]
+                                              : 0;
+    }
 
     /** Latest value of @p line_addr, if logged. */
     std::optional<LineValue> lookup(Addr line_addr) const;
@@ -179,6 +191,8 @@ class WriteLogBuffer
     /** First-level index: lpa -> second-level table (open addressing). */
     FlatMap<LogPageTable> index_;
     std::uint64_t indexBytes_ = 0;
+    /** Per-tenant appended-entry counts (empty unless QoS-configured). */
+    std::vector<std::uint64_t> tenantEntries_;
 };
 
 /**
@@ -192,8 +206,29 @@ class WriteLog
     WriteLog(std::uint64_t capacity_bytes, std::uint32_t initial_entries,
              double max_load);
 
-    /** Append to the active buffer. */
-    void append(Addr line_addr, LineValue value);
+    /** Append to the active buffer (optionally tenant-attributed). */
+    void append(Addr line_addr, LineValue value, int tenant = -1);
+
+    /**
+     * Configure per-tenant live-entry quotas (QosConfig::writeLogQuota):
+     * quotas[t] is the most log entries tenant t may hold across both
+     * buffers before overQuota(t) trips. Resets the per-tenant counts.
+     */
+    void setTenantQuotas(std::vector<std::uint64_t> quotas);
+
+    /** Live entries (active + draining buffer) held by @p tenant. */
+    std::uint64_t tenantLiveEntries(std::size_t tenant) const
+    {
+        return active_.tenantEntries(tenant)
+               + standby_.tenantEntries(tenant);
+    }
+
+    /** True when quotas are configured and @p tenant has spent its. */
+    bool overQuota(std::size_t tenant) const
+    {
+        return tenant < tenantQuotas_.size()
+               && tenantLiveEntries(tenant) >= tenantQuotas_[tenant];
+    }
 
     /** Probe active then draining buffer. */
     std::optional<LineValue> lookup(Addr line_addr);
@@ -268,6 +303,8 @@ class WriteLog
     WriteLogBuffer standby_;
     bool drainInProgress_ = false;
     WriteLogStats stats_;
+    /** Per-tenant live-entry quotas (empty = quotas disabled). */
+    std::vector<std::uint64_t> tenantQuotas_;
 };
 
 } // namespace skybyte

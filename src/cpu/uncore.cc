@@ -81,6 +81,15 @@ Uncore::onResponse(Addr line_addr, const MemResponse &resp)
         for (auto &st : waiters) {
             st->value = resp.value;
             offchip_.record(now - st->issuedAt);
+            if (!tenantOffchip_.empty()) {
+                const int t = tenantOf_(st->lineAddr);
+                if (t >= 0
+                    && static_cast<std::size_t>(t)
+                           < tenantOffchip_.size()) {
+                    tenantOffchip_[static_cast<std::size_t>(t)].record(
+                        now - st->issuedAt);
+                }
+            }
             if (st->owner != nullptr) {
                 st->owner->onMissData(st, now);
             } else {

@@ -9,6 +9,8 @@
 #ifndef SKYBYTE_CPU_UNCORE_H
 #define SKYBYTE_CPU_UNCORE_H
 
+#include <cstddef>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -167,6 +169,29 @@ class Uncore
     /** Off-chip (post-LLC) demand-load latency distribution (Fig 3). */
     const LatencyHistogram &offchipLatency() const { return offchip_; }
 
+    /**
+     * Enable per-tenant off-chip latency recording (mix: workloads):
+     * @p n histograms, one per tenant, classified by the host virtual
+     * line address through @p classify (-1 = no tenant, e.g. private
+     * stack lines — those land only in the aggregate). Recording
+     * happens beside the aggregate offchip histogram at the same
+     * sample sites, so the tenant histograms partition the aggregate's
+     * tenant-owned samples exactly. Pure accounting: enabling this
+     * never changes simulated behaviour.
+     */
+    void
+    enableTenantLatency(std::size_t n, std::function<int(Addr)> classify)
+    {
+        tenantOffchip_.assign(n, LatencyHistogram{});
+        tenantOf_ = std::move(classify);
+    }
+
+    /** Per-tenant off-chip latency, aligned with enableTenantLatency. */
+    const std::vector<LatencyHistogram> &tenantOffchipLatency() const
+    {
+        return tenantOffchip_;
+    }
+
   private:
     void onResponse(Addr line_addr, const MemResponse &resp);
     void wakeBlockedCores();
@@ -181,6 +206,9 @@ class Uncore
     FlatMap<std::vector<MissRef>> inFlight_;
     std::vector<Core *> cores_;
     LatencyHistogram offchip_;
+    /** Per-tenant histograms (empty = disabled) + vaddr classifier. */
+    std::vector<LatencyHistogram> tenantOffchip_;
+    std::function<int(Addr)> tenantOf_;
     std::uint64_t llcMisses_ = 0;
     std::uint64_t llcCoalesced_ = 0;
     std::uint64_t llcMshrBlocks_ = 0;

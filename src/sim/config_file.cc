@@ -189,6 +189,31 @@ applyAssignment(const std::string &assignment, ExperimentSpec &spec)
                 "lanes must be in [1, 64]: " + value);
         }
         cfg.kernel.lanes = static_cast<std::uint32_t>(lanes);
+    } else if (key == "qos_policy") {
+        if (value == "none")
+            cfg.qos.weightedAdmission = false;
+        else if (value == "weighted")
+            cfg.qos.weightedAdmission = true;
+        else
+            throw std::invalid_argument("bad qos_policy: " + value);
+    } else if (key == "qos_epoch_us") {
+        const std::uint64_t us = parseU64(value, key);
+        if (us == 0 || us > 1'000'000) {
+            throw std::invalid_argument(
+                "qos_epoch_us must be in [1, 1000000]: " + value);
+        }
+        cfg.qos.epochTicks = usToTicks(static_cast<double>(us));
+    } else if (key == "qos_credits_per_epoch") {
+        const std::uint64_t credits = parseU64(value, key);
+        if (credits == 0 || credits > 0xffffffffULL) {
+            throw std::invalid_argument(
+                "qos_credits_per_epoch must be in [1, 2^32): " + value);
+        }
+        cfg.qos.creditsPerEpoch = static_cast<std::uint32_t>(credits);
+    } else if (key == "qos_write_log_quota") {
+        cfg.qos.writeLogQuota = parseBool(value, key);
+    } else if (key == "qos_migration_share") {
+        cfg.qos.migrationShare = parseBool(value, key);
     } else if (key == "slab_chunk_records") {
         const std::uint64_t records = parseU64(value, key);
         if (records == 0 || records > 0xffffffffULL) {

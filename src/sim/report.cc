@@ -84,8 +84,16 @@ printSummary(const SimResult &res, std::ostream &out)
             << ", ssd hit/miss/w " << t.ssdReadHits << "/"
             << t.ssdReadMisses << "/" << t.ssdWrites
             << ", log appends " << t.logAppends
-            << ", flash read us " << t.flashReadLatencyUs << "\n";
+            << ", flash read us " << t.flashReadLatencyUs
+            << ", offchip p50/p95/p99 ns "
+            << ticksToNs(t.offchipLatency.percentileTicks(0.50)) << "/"
+            << ticksToNs(t.offchipLatency.percentileTicks(0.95)) << "/"
+            << ticksToNs(t.offchipLatency.percentileTicks(0.99))
+            << ", qos delayed r/w " << t.qosDelayedReads << "/"
+            << t.qosDelayedWrites << "\n";
     }
+    if (!res.tenants.empty())
+        out << "fairness_ipc        " << res.fairnessIpc() << "\n";
 }
 
 std::string
@@ -165,9 +173,35 @@ toJson(const SimResult &res)
                << ", \"log_appends\": " << t.logAppends
                << ", \"flash_page_reads\": " << t.flashPageReads
                << ", \"flash_read_latency_us\": "
-               << t.flashReadLatencyUs << "}";
+               << t.flashReadLatencyUs
+               << ", \"qos_weight\": " << t.qosWeight
+               << ", \"offchip_p50_ns\": "
+               << ticksToNs(t.offchipLatency.percentileTicks(0.50))
+               << ", \"offchip_p95_ns\": "
+               << ticksToNs(t.offchipLatency.percentileTicks(0.95))
+               << ", \"offchip_p99_ns\": "
+               << ticksToNs(t.offchipLatency.percentileTicks(0.99))
+               << ", \"qos_delayed_reads\": " << t.qosDelayedReads
+               << ", \"qos_delayed_writes\": " << t.qosDelayedWrites
+               << ", \"qos_throttle_delay_us\": "
+               << t.qosThrottleDelayUs
+               << ", \"qos_log_over_quota\": " << t.qosLogOverQuota
+               << ", \"offchip_latency_cdf_ns\": [";
+            const auto points = t.offchipLatency.cdfPoints();
+            for (std::size_t p = 0; p < points.size(); ++p) {
+                if (p > 0)
+                    os << ", ";
+                os << "[" << points[p].first << ", "
+                   << points[p].second << "]";
+            }
+            os << "]}";
         }
-        os << "\n  ]\n";
+        os << "\n  ],\n";
+        // SLO/fairness rollups exist only for mix runs, like the tenant
+        // array itself, so single-workload reports stay byte-identical.
+        appendKv(os, "qos_migration_share_rejects",
+                 res.qosMigrationShareRejects);
+        appendKv(os, "fairness_ipc", res.fairnessIpc(), false);
     }
     os << "}\n";
     return os.str();

@@ -504,6 +504,70 @@ registerBuiltinSweeps()
          "oltp=tpcc:footprint=16M"},
         {"Base-CSSD", "SkyByte-W", "SkyByte-Full"}, 4'000));
 
+    // Per-tenant QoS: a noisy random-access tenant (3 threads of
+    // uniform over 24M — every access an LLC compulsory miss, high
+    // MLP, weight 1) co-located with a latency-sensitive pointer chase
+    // (serial dependent loads, weight 4), swept over progressively
+    // stricter throttling policies. The pinned reference
+    // (tests/data/qos.reference.json) demonstrates the SLO effect: the
+    // lat tenant's offchip_p99_ns drops measurably once weighted
+    // admission throttles the noisy tenant's device request rate.
+    {
+        SweepSpec qos;
+        qos.name = "qos";
+        qos.title =
+            "per-tenant QoS throttling (noisy uniform vs ptrchase SLO)";
+        qos.defaultInstrPerThread = 20'000;
+        qos.axes.push_back(workloadAxis(
+            {"mix:noisy=uniform:footprint=24M,write_ratio=0.2,"
+             "threads=3,qos=1;lat=ptrchase:footprint=8M,chain=16,qos=4"}));
+        qos.axes.push_back(variantAxis({"SkyByte-W", "SkyByte-Full"}));
+        // Single-value axis: a microbenchmark-scale memory system so the
+        // noisy tenant's dirty lines actually evict to the device within
+        // the sweep's instruction budget (with the default 16 MB LLC
+        // nothing ever spills) and the shrunken write log makes the
+        // per-tenant quota reachable between log flushes.
+        SweepAxis scale{"scale", {}};
+        scale.values.push_back({"micro", [](SweepPoint &p) {
+                                    p.cfg.cpu.l2.sizeBytes = 128 * 1024;
+                                    p.cfg.cpu.llc.sizeBytes = 256 * 1024;
+                                    p.cfg.ssdCache.writeLogBytes =
+                                        64 * 1024;
+                                }});
+        qos.axes.push_back(std::move(scale));
+        SweepAxis policy{"qos_policy", {}};
+        policy.values.push_back({"off", [](SweepPoint &) {}});
+        // 5 us epochs, 4:1 credit split (256 credits -> 204 lat / 51
+        // noisy): the lat tenant's budget is ~2x its measured offered
+        // load (~105 ops / 5 us on SkyByte-Full) so only its retry
+        // storms get paced, while the noisy tenant's MLP bursts are
+        // spread across the epoch. Tighter pools bind the lat tenant
+        // and its delay-hint retries then snowball into extra spend.
+        policy.values.push_back({"admission", [](SweepPoint &p) {
+                                     p.cfg.qos.weightedAdmission = true;
+                                     p.cfg.qos.epochTicks =
+                                         usToTicks(5.0);
+                                     p.cfg.qos.creditsPerEpoch = 256;
+                                 }});
+        policy.values.push_back(
+            {"admission+quota", [](SweepPoint &p) {
+                 p.cfg.qos.weightedAdmission = true;
+                 p.cfg.qos.epochTicks = usToTicks(5.0);
+                 p.cfg.qos.creditsPerEpoch = 256;
+                 p.cfg.qos.writeLogQuota = true;
+             }});
+        policy.values.push_back({"full", [](SweepPoint &p) {
+                                     p.cfg.qos.weightedAdmission = true;
+                                     p.cfg.qos.epochTicks =
+                                         usToTicks(5.0);
+                                     p.cfg.qos.creditsPerEpoch = 256;
+                                     p.cfg.qos.writeLogQuota = true;
+                                     p.cfg.qos.migrationShare = true;
+                                 }});
+        qos.axes.push_back(std::move(policy));
+        registerSweepUnlocked(std::move(qos));
+    }
+
     // Trace-capture replay: the workload axis is a tracelog: spec
     // pointing at a file the runner materializes first (skybyte_
     // tracegen / tracepack). The spec replays either encoding by

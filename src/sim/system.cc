@@ -152,6 +152,12 @@ System::buildSystem(
     if (mix_ != nullptr && mix_->tenants().size() >= 2) {
         ssd_->setTenantBounds(mix_->tenantDeviceStarts(),
                               mix_->footprintBytes());
+        // QoS enforcement at the device front end (qos_policy /
+        // qos_write_log_quota): weights come from the tenants' qos=
+        // spec keys. All knobs default off, so plain mixes keep their
+        // pinned fingerprints byte-identical.
+        if (cfg_.qos.weightedAdmission || cfg_.qos.writeLogQuota)
+            ssd_->configureQos(cfg_.qos, mix_->tenantQosWeights());
     }
 
     if (!cfg_.dramOnly && cfg_.preconditionSsd) {
@@ -172,12 +178,42 @@ System::buildSystem(
                && cfg_.policy.migration != MigrationMechanism::None) {
         migration_ = std::make_unique<MigrationEngine>(cfg_, eq_, *ssd_,
                                                        *hostDram_, *link_);
+        if (cfg_.qos.migrationShare && mix_ != nullptr
+            && mix_->tenants().size() >= 2) {
+            // Each tenant's promoted-byte cap is its weight share of
+            // the host promotion budget, floored at one region so no
+            // tenant is locked out of host DRAM entirely.
+            const std::vector<double> weights = mix_->tenantQosWeights();
+            double total = 0.0;
+            for (const double w : weights)
+                total += w;
+            std::vector<std::uint64_t> shares(weights.size());
+            for (std::size_t t = 0; t < weights.size(); ++t) {
+                shares[t] = std::max<std::uint64_t>(
+                    static_cast<std::uint64_t>(migration_->regionPages())
+                        * kPageBytes,
+                    static_cast<std::uint64_t>(
+                        static_cast<double>(
+                            cfg_.hostMem.promotedBytesMax)
+                        * weights[t] / total));
+            }
+            migration_->setTenantShares(mix_->tenantDeviceStarts(),
+                                        std::move(shares));
+        }
     }
 
     router_ = std::make_unique<MemRouter>(*this);
     if (mix_ != nullptr && mix_->tenants().size() >= 2)
         router_->enableTenantAccounting(mix_->tenants().size());
     uncore_ = std::make_unique<Uncore>(cfg_.cpu, eq_, *router_);
+    if (mix_ != nullptr && mix_->tenants().size() >= 2) {
+        // Per-tenant SLO latency histograms (pure accounting): recorded
+        // beside the aggregate off-chip histogram, classified by the
+        // host virtual line address.
+        uncore_->enableTenantLatency(
+            mix_->tenants().size(),
+            [this](Addr vaddr) { return tenantOfVaddr(vaddr); });
+    }
 
     for (int c = 0; c < cfg_.cpu.numCores; ++c) {
         cores_.push_back(std::make_unique<Core>(c, cfg_.cpu, cfg_.policy,
@@ -405,6 +441,8 @@ System::run(Tick max_ticks)
     if (migration_ != nullptr) {
         res.promotions = migration_->stats().promotions;
         res.demotions = migration_->stats().demotions;
+        res.qosMigrationShareRejects =
+            migration_->stats().rejectedTenantShare;
     }
     if (astri_ != nullptr) {
         res.astriHostHits = astri_->stats().hostHits;
@@ -454,6 +492,13 @@ System::run(Tick max_ticks)
                           device[i].flashReadTicks
                           / static_cast<double>(
                               device[i].flashPageReads)));
+            tr.qosWeight = tenants[i].qosWeight;
+            tr.offchipLatency = uncore_->tenantOffchipLatency()[i];
+            tr.qosDelayedReads = device[i].delayedReads;
+            tr.qosDelayedWrites = device[i].delayedWrites;
+            tr.qosThrottleDelayUs = ticksToUs(
+                static_cast<Tick>(device[i].throttleDelayTicks));
+            tr.qosLogOverQuota = device[i].logOverQuota;
             res.tenants.push_back(std::move(tr));
         }
     }

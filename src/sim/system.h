@@ -61,6 +61,23 @@ struct TenantResult
     /** Mean flash read latency of those arrivals (us). */
     double flashReadLatencyUs = 0;
 
+    /** Relative QoS weight from the mix spec's qos= key (default 1). */
+    double qosWeight = 1.0;
+    /**
+     * SLO view: off-chip demand-load latency of this tenant's lines,
+     * recorded at the same sample sites as the aggregate
+     * SimResult::offchipLatency, so the tenant histograms partition the
+     * aggregate's tenant-owned samples exactly (pinned by
+     * tests/test_system.cc).
+     */
+    LatencyHistogram offchipLatency;
+    /** @name QoS enforcement effects (zero with QoS off). @{ */
+    std::uint64_t qosDelayedReads = 0;
+    std::uint64_t qosDelayedWrites = 0;
+    double qosThrottleDelayUs = 0; ///< total admission hold time
+    std::uint64_t qosLogOverQuota = 0;
+    /** @} */
+
     double
     ipc() const
     {
@@ -129,6 +146,8 @@ struct SimResult
     /** Migration / AstriFlash. */
     std::uint64_t promotions = 0;
     std::uint64_t demotions = 0;
+    /** Promotions rejected by per-tenant share caps (QoS; 0 when off). */
+    std::uint64_t qosMigrationShareRejects = 0;
     std::uint64_t astriHostHits = 0;
     std::uint64_t astriHostMisses = 0;
 
@@ -184,6 +203,29 @@ struct SimResult
                    ? 0.0
                    : 1000.0 * static_cast<double>(llcMisses)
                          / static_cast<double>(committedInstructions);
+    }
+    /**
+     * Jain fairness index over per-tenant IPC: (sum x)^2 / (n sum x^2),
+     * 1.0 when every tenant progresses equally, approaching 1/n as one
+     * tenant starves the rest. 0 for non-mix runs (fewer than two
+     * tenants).
+     */
+    double
+    fairnessIpc() const
+    {
+        if (tenants.size() < 2)
+            return 0.0;
+        double sum = 0.0;
+        double sumsq = 0.0;
+        for (const TenantResult &t : tenants) {
+            const double x = t.ipc();
+            sum += x;
+            sumsq += x * x;
+        }
+        return sumsq == 0.0
+                   ? 0.0
+                   : sum * sum
+                         / (static_cast<double>(tenants.size()) * sumsq);
     }
     /** @} */
 };

@@ -163,9 +163,25 @@ MixWorkload::MixWorkload(const WorkloadSpec &spec,
         child_params.numThreads = counts[i];
         child_params.seed =
             params.seed + kTenantSeedStride * static_cast<std::uint64_t>(i);
+        // qos= is a mix-level key: peel it off the spec the child is
+        // constructed from (generator factories reject unknown keys),
+        // but keep the original text for reporting.
+        WorkloadSpec child_spec = ts.spec;
+        double qos_weight = 1.0;
+        if (child_spec.has("qos")) {
+            qos_weight = parseQosWeight(child_spec.raw("qos"),
+                                        "mix tenant " + ts.tenant);
+            child_spec.args.erase(
+                std::remove_if(
+                    child_spec.args.begin(), child_spec.args.end(),
+                    [](const std::pair<std::string, std::string> &kv) {
+                        return kv.first == "qos";
+                    }),
+                child_spec.args.end());
+        }
         std::unique_ptr<Workload> child;
         try {
-            child = makeWorkload(ts.spec, child_params);
+            child = makeWorkload(child_spec, child_params);
         } catch (const std::invalid_argument &e) {
             throw std::invalid_argument("mix tenant " + ts.tenant + ": "
                                         + e.what());
@@ -173,6 +189,7 @@ MixWorkload::MixWorkload(const WorkloadSpec &spec,
         MixTenant tenant;
         tenant.name = ts.tenant;
         tenant.specText = ts.spec.text();
+        tenant.qosWeight = qos_weight;
         tenant.threads = counts[i];
         tenant.explicitThreads = requested[i] >= 0;
         tenant.footprintBytes = pageRoundUp(child->footprintBytes());
@@ -250,6 +267,16 @@ MixWorkload::tenantDeviceStarts() const
     for (const MixTenant &tenant : tenants_)
         starts.push_back(tenant.deviceBase);
     return starts;
+}
+
+std::vector<double>
+MixWorkload::tenantQosWeights() const
+{
+    std::vector<double> weights;
+    weights.reserve(tenants_.size());
+    for (const MixTenant &tenant : tenants_)
+        weights.push_back(tenant.qosWeight);
+    return weights;
 }
 
 } // namespace skybyte

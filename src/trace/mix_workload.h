@@ -61,6 +61,12 @@ struct MixTenant
     std::uint64_t footprintBytes = 0;
     /** Offset of this tenant's region within the mix device space. */
     Addr deviceBase = 0;
+    /**
+     * Relative QoS weight (`qos=` spec key, default 1.0). Weights only
+     * matter when a QosConfig control is enabled; each control gives
+     * the tenant a weight / sum-of-weights share of its resource.
+     */
+    double qosWeight = 1.0;
 };
 
 /** @name Thread-assignment policy (exposed for property tests).
@@ -155,6 +161,9 @@ class MixWorkload : public Workload
      * counters classify by.
      */
     std::vector<Addr> tenantDeviceStarts() const;
+
+    /** Per-tenant QoS weights in declaration order (default 1.0). */
+    std::vector<double> tenantQosWeights() const;
 
   private:
     std::vector<std::unique_ptr<Workload>> children_;

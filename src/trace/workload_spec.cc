@@ -204,6 +204,29 @@ parseByteSize(const std::string &value, const std::string &what)
     return count * multiplier;
 }
 
+double
+parseQosWeight(const std::string &value, const std::string &what)
+{
+    double weight = 0.0;
+    try {
+        std::size_t end = 0;
+        weight = std::stod(value, &end);
+        if (end != value.size())
+            throw std::invalid_argument("trailing junk");
+    } catch (const std::exception &) {
+        throw std::invalid_argument("bad qos weight for " + what + ": "
+                                    + value);
+    }
+    // NaN fails every comparison, inf breaks share arithmetic, and a
+    // non-positive weight would zero a tenant's resource share.
+    if (!std::isfinite(weight) || weight <= 0.0) {
+        throw std::invalid_argument("qos weight for " + what
+                                    + " must be a positive finite "
+                                      "number: " + value);
+    }
+    return weight;
+}
+
 const std::string *
 WorkloadSpecArgs::consume(const std::string &key)
 {

@@ -134,6 +134,14 @@ std::uint64_t parseUnsigned(const std::string &value,
 std::uint64_t parseByteSize(const std::string &value,
                             const std::string &what);
 
+/**
+ * Parse a QoS weight (the per-tenant `qos=` spec key): a positive
+ * finite decimal. Weights are relative — a tenant's share of a
+ * QoS-controlled resource is weight / sum-of-weights.
+ * @throws std::invalid_argument naming @p what on bad input.
+ */
+double parseQosWeight(const std::string &value, const std::string &what);
+
 } // namespace skybyte
 
 #endif // SKYBYTE_TRACE_WORKLOAD_SPEC_H

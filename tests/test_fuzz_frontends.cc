@@ -23,6 +23,7 @@
 #include "sim/config_file.h"
 #include "sim/report.h"
 #include "trace/trace_log/trace_log.h"
+#include "trace/workload.h"
 #include "trace/workload_spec.h"
 
 namespace skybyte {
@@ -102,6 +103,8 @@ TEST(FuzzFrontends, WorkloadSpecsThrowNotCrash)
         "zipf:theta=0.99,footprint=8G,compute=2",
         "scan:stride=128,write_ratio=0.5",
         "mix:app=ycsb;noisy=scan:stride=4096;hot=zipf:theta=1.2",
+        "mix:lat=ptrchase:footprint=8M,chain=16,qos=4;"
+        "noisy=uniform:footprint=24M,write_ratio=0.2,qos=1",
     };
     std::uint64_t seed = 0xf00dULL;
     for (const std::string &valid : corpus) {
@@ -125,6 +128,11 @@ TEST(FuzzFrontends, ConfigStreamsThrowNotCrash)
                               "workload=zipf:theta=0.99\n"
                               "instr_per_thread=100000\n"
                               "lanes=4\n"
+                              "qos_policy=weighted\n"
+                              "qos_epoch_us=5\n"
+                              "qos_credits_per_epoch=64\n"
+                              "qos_write_log_quota=true\n"
+                              "qos_migration_share=false\n"
                               "seed=7\n";
     fuzzInput(valid, 0xcafeULL, 600, [](const std::string &text) {
         std::istringstream in(text);
@@ -150,6 +158,54 @@ TEST(FuzzFrontends, LanesKnobGarbageThrowsNotCrash)
     ExperimentSpec spec;
     applyConfigStream(ok, spec);
     EXPECT_EQ(spec.config.kernel.lanes, 8u);
+}
+
+TEST(FuzzFrontends, QosKnobGarbageThrowsNotCrash)
+{
+    // Garbage qos= weights on mix tenants are an invalid_argument at
+    // workload-construction time, never a crash or a silent default.
+    WorkloadParams params;
+    params.numThreads = 2;
+    for (const std::string bad :
+         {"0", "-1", "nan", "inf", "-inf", "junk", "", "1.5x"}) {
+        SCOPED_TRACE(bad);
+        const std::string spec = "mix:lat=ptrchase:footprint=4M,qos="
+                                 + bad + ";noisy=uniform:footprint=4M";
+        EXPECT_THROW(makeWorkload(spec, params), std::invalid_argument);
+    }
+    // qos= is a mix-level key: on a plain workload it is an unknown
+    // argument, not a silently ignored one.
+    EXPECT_THROW(makeWorkload("uniform:qos=2", params),
+                 std::invalid_argument);
+    // A valid weighted mix still builds.
+    EXPECT_NE(makeWorkload("mix:a=uniform:footprint=4M,qos=2;"
+                           "b=uniform:footprint=4M,qos=1",
+                           params),
+              nullptr);
+    // Garbage qos_* config knobs throw, never crash or clamp.
+    for (const std::string bad :
+         {"qos_policy=strict", "qos_epoch_us=0", "qos_epoch_us=1000001",
+          "qos_epoch_us=abc", "qos_credits_per_epoch=0",
+          "qos_credits_per_epoch=4294967296",
+          "qos_write_log_quota=maybe", "qos_migration_share=2"}) {
+        SCOPED_TRACE(bad);
+        std::istringstream in(bad + "\n");
+        ExperimentSpec spec;
+        EXPECT_THROW(applyConfigStream(in, spec),
+                     std::invalid_argument);
+    }
+    std::istringstream ok("qos_policy=weighted\n"
+                          "qos_epoch_us=5\n"
+                          "qos_credits_per_epoch=64\n"
+                          "qos_write_log_quota=true\n"
+                          "qos_migration_share=false\n");
+    ExperimentSpec qspec;
+    applyConfigStream(ok, qspec);
+    EXPECT_TRUE(qspec.config.qos.weightedAdmission);
+    EXPECT_EQ(qspec.config.qos.epochTicks, usToTicks(5.0));
+    EXPECT_EQ(qspec.config.qos.creditsPerEpoch, 64u);
+    EXPECT_TRUE(qspec.config.qos.writeLogQuota);
+    EXPECT_FALSE(qspec.config.qos.migrationShare);
 }
 
 TEST(FuzzFrontends, SweepReportsThrowNotCrash)

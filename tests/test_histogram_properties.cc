@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Percentile/CDF correctness properties of the statistics primitives:
+ * ceil-rank percentile semantics pinned over exact small-count cases,
+ * exclusive CDF boundaries, histogram percentiles checked against
+ * exact sorted-sample percentiles across random sample sets (error
+ * bounded by the containing bucket's width), and merge() equivalence
+ * with combined recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace skybyte {
+namespace {
+
+/** Exact p-th percentile of @p samples under ceil-rank semantics. */
+Tick
+exactPercentile(std::vector<Tick> samples, double p)
+{
+    std::sort(samples.begin(), samples.end());
+    const auto n = static_cast<double>(samples.size());
+    auto rank = static_cast<std::size_t>(std::ceil(p * n));
+    rank = std::max<std::size_t>(rank, 1);
+    return samples[rank - 1];
+}
+
+/**
+ * The log-bucket (8 sub-buckets per octave) containing @p t has width
+ * at most t/8 plus one tick of rounding, so the histogram percentile
+ * (the bucket's upper bound) can exceed the exact sample by at most
+ * that much.
+ */
+Tick
+bucketWidthBound(Tick t)
+{
+    return t / 8 + 1;
+}
+
+TEST(LatencyHistogram, PercentileUsesCeilRankExactSmallCounts)
+{
+    // 100 spread-out samples: i*1000 for i = 1..100. Every interesting
+    // rank maps to a distinct sample, so truncation bugs are visible.
+    LatencyHistogram h;
+    std::vector<Tick> samples;
+    for (Tick i = 1; i <= 100; ++i) {
+        samples.push_back(i * 1000);
+        h.record(i * 1000);
+    }
+    // p99 of 100 samples must resolve to rank 99, not 98.
+    EXPECT_GE(h.percentileTicks(0.99), 99'000u);
+    // 0.29 * 100 = 28.999... in binary floating point; the ceil must
+    // still land on rank 29.
+    EXPECT_GE(h.percentileTicks(0.29), 29'000u);
+    // p100 is the maximum; p just above zero is the minimum (rank
+    // clamps to 1, never 0).
+    EXPECT_GE(h.percentileTicks(1.0), 100'000u);
+    EXPECT_GE(h.percentileTicks(1e-9), 1000u);
+    EXPECT_LE(h.percentileTicks(1e-9),
+              1000u + bucketWidthBound(1000));
+    // Generic ranks stay within the containing bucket's width.
+    for (const double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95}) {
+        const Tick exact = exactPercentile(samples, p);
+        const Tick got = h.percentileTicks(p);
+        EXPECT_GE(got, exact) << "p=" << p;
+        EXPECT_LE(got, exact + bucketWidthBound(exact)) << "p=" << p;
+    }
+}
+
+TEST(LatencyHistogram, PercentileSingleSample)
+{
+    LatencyHistogram h;
+    h.record(5000);
+    for (const double p : {0.001, 0.5, 0.99, 1.0}) {
+        EXPECT_GE(h.percentileTicks(p), 5000u);
+        EXPECT_LE(h.percentileTicks(p),
+                  5000u + bucketWidthBound(5000));
+    }
+}
+
+TEST(LatencyHistogram, PercentileMatchesSortedSamplesRandom)
+{
+    Rng rng(2026);
+    for (const int n : {1, 7, 33, 500, 5000}) {
+        LatencyHistogram h;
+        std::vector<Tick> samples;
+        for (int i = 0; i < n; ++i) {
+            const Tick t = rng.below(10'000'000) + 1;
+            samples.push_back(t);
+            h.record(t);
+        }
+        for (const double p :
+             {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+            const Tick exact = exactPercentile(samples, p);
+            const Tick got = h.percentileTicks(p);
+            EXPECT_GE(got, exact) << "n=" << n << " p=" << p;
+            EXPECT_LE(got, exact + bucketWidthBound(exact))
+                << "n=" << n << " p=" << p;
+        }
+    }
+}
+
+TEST(LatencyHistogram, LowTickBucketBoundsStrictlyIncrease)
+{
+    // One sample per tick value 1..16: the CDF points must come out
+    // with strictly increasing latencies — before the low-octave
+    // upper-bound fix, several sub-8-tick buckets collapsed onto the
+    // same bound.
+    LatencyHistogram h;
+    for (Tick t = 1; t <= 16; ++t)
+        h.record(t);
+    double prev = 0.0;
+    for (const auto &[ns, frac] : h.cdfPoints()) {
+        EXPECT_GT(ns, prev);
+        prev = ns;
+    }
+    EXPECT_EQ(h.count(), 16u);
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording)
+{
+    Rng rng(99);
+    LatencyHistogram a, b, combined;
+    for (int i = 0; i < 4000; ++i) {
+        const Tick t = rng.below(1'000'000) + 1;
+        combined.record(t);
+        if (i % 3 == 0)
+            a.record(t);
+        else
+            b.record(t);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_DOUBLE_EQ(a.meanTicks(), combined.meanTicks());
+    for (const double p : {0.1, 0.5, 0.9, 0.99})
+        EXPECT_EQ(a.percentileTicks(p), combined.percentileTicks(p));
+    EXPECT_EQ(a.cdfPoints(), combined.cdfPoints());
+}
+
+TEST(RatioHistogram, CdfBoundariesExclusive)
+{
+    RatioHistogram h;
+    // Samples exactly on the r = 0.5 bucket boundary belong to the
+    // bucket starting at 0.5, so cdfAt(0.5) must not count them.
+    for (int i = 0; i < 10; ++i)
+        h.record(0.5);
+    EXPECT_NEAR(h.cdfAt(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(h.cdfAt(0.5), 0.0, 1e-12);
+    EXPECT_NEAR(h.cdfAt(0.5 + 1.0 / 64), 1.0, 1e-12);
+    EXPECT_NEAR(h.cdfAt(1.0), 1.0, 1e-12);
+}
+
+TEST(RatioHistogram, CdfMonotoneAndMergeEqualsCombined)
+{
+    Rng rng(7);
+    RatioHistogram a, b, combined;
+    for (int i = 0; i < 2000; ++i) {
+        const double r = rng.uniform();
+        combined.record(r);
+        if (i % 2 == 0)
+            a.record(r);
+        else
+            b.record(r);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+    double prev = -1.0;
+    for (int i = 0; i <= 64; ++i) {
+        const double r = static_cast<double>(i) / 64;
+        const double c = combined.cdfAt(r);
+        EXPECT_DOUBLE_EQ(a.cdfAt(r), c);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace skybyte

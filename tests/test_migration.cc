@@ -431,5 +431,52 @@ TEST(Migration, ReclaimPoliciesAgreeOnObviousVictim)
     }
 }
 
+TEST(Migration, TenantShareCapsPromotions)
+{
+    MigFixture fx(migConfig(MigrationMechanism::SkyByte, 128));
+    // Two tenants: device pages [0,4) and [4,..). Tenant 0 may hold
+    // one 4 KB region in host DRAM, tenant 1 two.
+    fx.engine.setTenantShares({0, 4 * kPageBytes},
+                              {kPageBytes, 2 * kPageBytes});
+    for (std::uint64_t lpn : {0, 1, 4, 5, 6})
+        fx.cachePage(static_cast<std::uint64_t>(lpn));
+    ASSERT_TRUE(fx.engine.onHotPage(0, 0));
+    fx.eq.run();
+    EXPECT_EQ(fx.engine.tenantPromotedBytes(0), kPageBytes);
+    // Tenant 0 is at its share: the next promotion is refused even
+    // though the global host budget has plenty of room.
+    EXPECT_FALSE(fx.engine.onHotPage(1, fx.eq.now()));
+    EXPECT_EQ(fx.engine.stats().rejectedTenantShare, 1u);
+    EXPECT_FALSE(fx.engine.isPromoted(1));
+    // Tenant 1's share is independent of tenant 0's rejection.
+    ASSERT_TRUE(fx.engine.onHotPage(4, fx.eq.now()));
+    ASSERT_TRUE(fx.engine.onHotPage(5, fx.eq.now()));
+    fx.eq.run();
+    EXPECT_EQ(fx.engine.tenantPromotedBytes(1), 2 * kPageBytes);
+    EXPECT_FALSE(fx.engine.onHotPage(6, fx.eq.now()));
+    EXPECT_EQ(fx.engine.stats().rejectedTenantShare, 2u);
+}
+
+TEST(Migration, DemotionReleasesTenantShare)
+{
+    // A one-page host budget forces a demotion on the second
+    // promotion; the demoted region's bytes must return to the
+    // tenant's share so the cap tracks what is actually resident.
+    MigFixture fx(migConfig(MigrationMechanism::SkyByte, 1));
+    fx.engine.setTenantShares({0}, {4 * kPageBytes});
+    fx.cachePage(0);
+    ASSERT_TRUE(fx.engine.onHotPage(0, 0));
+    fx.eq.run();
+    EXPECT_EQ(fx.engine.tenantPromotedBytes(0), kPageBytes);
+    fx.cachePage(1);
+    const Tick later = fx.eq.now() + usToTicks(5'000.0);
+    ASSERT_TRUE(fx.engine.onHotPage(1, later));
+    fx.eq.run();
+    EXPECT_EQ(fx.engine.stats().demotions, 1u);
+    EXPECT_TRUE(fx.engine.isPromoted(1));
+    EXPECT_EQ(fx.engine.tenantPromotedBytes(0), kPageBytes);
+    EXPECT_EQ(fx.engine.stats().rejectedTenantShare, 0u);
+}
+
 } // namespace
 } // namespace skybyte

@@ -259,16 +259,21 @@ TEST(MixWorkloadRouting, StreamInvariantUnderRefillGranularity)
     }
 }
 
-/** Drop the "tenants" array so mix reports compare against plain ones. */
+/**
+ * Drop the mix-only report tail (the "tenants" array plus the SLO
+ * rollups that follow it) so mix reports compare against plain ones.
+ */
 std::string
 stripTenants(std::string json)
 {
     const auto at = json.find("  \"tenants\": [");
     if (at == std::string::npos)
         return json;
-    const auto end = json.find("\n  ]\n", at);
+    const auto fairness = json.find("\"fairness_ipc\":", at);
+    EXPECT_NE(fairness, std::string::npos);
+    const auto end = json.find('\n', fairness);
     EXPECT_NE(end, std::string::npos);
-    json.erase(at, end + 5 - at);
+    json.erase(at, end + 1 - at);
     const auto comma = json.rfind(",\n", at);
     json.erase(comma, 1); // write_locality_cdf regains last position
     return json;

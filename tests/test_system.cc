@@ -198,6 +198,71 @@ TEST(SystemTenants, PerTenantCountsSumToAggregateTotals)
     }
 }
 
+TEST(SystemTenants, PerTenantLatencyHistogramsPartitionAggregate)
+{
+    // Tenant off-chip latency histograms record at the same uncore
+    // sample sites as the aggregate, so merging them must reproduce the
+    // aggregate exactly — same total count, same per-bucket CDF, same
+    // percentiles. Every off-chip line is either a tenant device line
+    // or a thread-private line, both of which classify to a tenant.
+    const std::string mix =
+        "mix:hot=zipf:theta=0.9,footprint=8M;"
+        "cold=uniform:footprint=8M,write_ratio=0.4,threads=2";
+    for (const std::string variant :
+         {"Base-CSSD", "SkyByte-W", "SkyByte-Full"}) {
+        SCOPED_TRACE(variant);
+        SimConfig cfg = testConfig(variant);
+        ExperimentOptions opt = smallOpts();
+        opt.footprintBytes = 0;
+        System sys(cfg, mix, makeParams(cfg, opt));
+        const SimResult res = sys.run(kLimit);
+        ASSERT_FALSE(res.timedOut);
+        ASSERT_EQ(res.tenants.size(), 2u);
+        LatencyHistogram merged;
+        for (const TenantResult &t : res.tenants) {
+            EXPECT_GT(t.offchipLatency.count(), 0u) << t.name;
+            merged.merge(t.offchipLatency);
+        }
+        EXPECT_EQ(merged.count(), res.offchipLatency.count());
+        EXPECT_EQ(merged.cdfPoints(), res.offchipLatency.cdfPoints());
+        for (const double p : {0.5, 0.95, 0.99})
+            EXPECT_EQ(merged.percentileTicks(p),
+                      res.offchipLatency.percentileTicks(p));
+    }
+}
+
+TEST(SystemTenants, WeightedAdmissionDelaysAreAccountedPerTenant)
+{
+    // A deliberately tight credit pool paces both tenants; the delays
+    // must show up in the per-tenant QoS counters and the run must
+    // still complete with a sane fairness index.
+    const std::string mix =
+        "mix:hot=zipf:theta=0.9,footprint=8M,qos=3;"
+        "cold=uniform:footprint=8M,write_ratio=0.4,threads=2,qos=1";
+    SimConfig cfg = testConfig("SkyByte-W");
+    cfg.qos.weightedAdmission = true;
+    cfg.qos.epochTicks = usToTicks(5.0);
+    cfg.qos.creditsPerEpoch = 32;
+    ExperimentOptions opt = smallOpts();
+    opt.footprintBytes = 0;
+    System sys(cfg, mix, makeParams(cfg, opt));
+    const SimResult res = sys.run(kLimit);
+    ASSERT_FALSE(res.timedOut);
+    ASSERT_EQ(res.tenants.size(), 2u);
+    EXPECT_DOUBLE_EQ(res.tenants[0].qosWeight, 3.0);
+    EXPECT_DOUBLE_EQ(res.tenants[1].qosWeight, 1.0);
+    std::uint64_t delayed = 0;
+    double delay_us = 0;
+    for (const TenantResult &t : res.tenants) {
+        delayed += t.qosDelayedReads + t.qosDelayedWrites;
+        delay_us += t.qosThrottleDelayUs;
+    }
+    EXPECT_GT(delayed, 0u);
+    EXPECT_GT(delay_us, 0.0);
+    EXPECT_GT(res.fairnessIpc(), 0.0);
+    EXPECT_LE(res.fairnessIpc(), 1.0);
+}
+
 TEST(SystemDeterminism, SameSeedSameResult)
 {
     SimResult a = runTestVariant("SkyByte-Full", "uniform", smallOpts());

@@ -255,5 +255,33 @@ TEST_P(WriteLogProperty, IncrementalIndexBytesMatchesRecomputation)
 INSTANTIATE_TEST_SUITE_P(Seeds, WriteLogProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13));
 
+TEST(WriteLog, TenantQuotaTripsAndClearsWithCompaction)
+{
+    WriteLog log(8 * kCachelineBytes, 4, 0.75);
+    log.setTenantQuotas({2, 100});
+    EXPECT_FALSE(log.overQuota(0));
+    log.append(addrOf(0, 0), 1, 0);
+    EXPECT_FALSE(log.overQuota(0));
+    log.append(addrOf(0, 1), 2, 0);
+    EXPECT_TRUE(log.overQuota(0)); // live entries == quota trips it
+    EXPECT_FALSE(log.overQuota(1));
+    EXPECT_EQ(log.tenantLiveEntries(0), 2u);
+    // Unattributed appends (tenant -1) count against no one, and an
+    // out-of-range tenant is never over quota.
+    log.append(addrOf(1, 0), 3);
+    EXPECT_EQ(log.tenantLiveEntries(0), 2u);
+    EXPECT_EQ(log.tenantLiveEntries(1), 0u);
+    EXPECT_FALSE(log.overQuota(7));
+    // Fill the active buffer: the swap moves tenant 0's entries to the
+    // draining buffer, where they still count until the drain ends.
+    for (std::uint32_t off = 0; !log.needCompaction(); ++off)
+        log.append(addrOf(2, off), off, 1);
+    log.beginCompaction();
+    EXPECT_TRUE(log.overQuota(0));
+    log.finishCompaction();
+    EXPECT_FALSE(log.overQuota(0)); // drained entries released
+    EXPECT_EQ(log.tenantLiveEntries(0), 0u);
+}
+
 } // namespace
 } // namespace skybyte
